@@ -1,0 +1,50 @@
+# distjoin — build, test, and experiment targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race cover fuzz bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Run every fuzz target briefly.
+fuzz:
+	$(GO) test -fuzz=FuzzReadFrom -fuzztime=20s ./internal/datagen
+	$(GO) test -fuzz=FuzzDecodeNode -fuzztime=20s ./internal/rtree
+	$(GO) test -fuzz=FuzzPairRoundTrip -fuzztime=20s ./internal/hybridq
+	$(GO) test -fuzz=FuzzIndex -fuzztime=20s ./internal/sweep
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation (tables to stdout, figures to ./figures).
+experiments:
+	$(GO) run ./cmd/distjoin-bench -exp all -svg figures
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/citypairs -n 5000 -k 50
+	$(GO) run ./examples/incremental -n 5000 -batch 200 -batches 3
+	$(GO) run ./examples/tigerscale -n 10000
+	$(GO) run ./examples/analytics -customers 5000
+
+clean:
+	$(GO) clean ./...
+	rm -rf figures

@@ -1,0 +1,162 @@
+package distjoin
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuilderInsertDeleteSnapshot(t *testing.T) {
+	b, err := NewBuilder(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(30))
+	objs := randObjects(rng, 300, 1000, 10)
+	for _, o := range objs {
+		if err := b.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != 300 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if !b.Bounds().Valid() {
+		t.Fatal("invalid bounds")
+	}
+
+	// Delete a third.
+	for i := 0; i < 100; i++ {
+		if !b.Delete(objs[i]) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if b.Delete(objs[0]) {
+		t.Fatal("double delete must report false")
+	}
+	if b.Len() != 200 {
+		t.Fatalf("Len = %d after deletes", b.Len())
+	}
+
+	// Search sees exactly the live objects.
+	seen := map[int64]bool{}
+	b.Search(b.Bounds(), func(o Object) bool {
+		seen[o.ID] = true
+		return true
+	})
+	if len(seen) != 200 {
+		t.Fatalf("search found %d", len(seen))
+	}
+	for i := 0; i < 100; i++ {
+		if seen[objs[i].ID] {
+			t.Fatalf("deleted object %d still visible", objs[i].ID)
+		}
+	}
+
+	// Snapshot is queryable and isolated from later mutations.
+	snap, err := b.Snapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 200 {
+		t.Fatalf("snapshot Len = %d", snap.Len())
+	}
+	if err := b.Insert(Object{ID: 9999, Rect: NewRect(0, 0, 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 200 {
+		t.Fatal("snapshot changed after builder mutation")
+	}
+
+	// Joins over snapshots match brute force on the live set.
+	live := objs[100:]
+	want := bruteKNearest(live, live, 30)
+	pairs, err := KDistanceJoin(snap, snap, 30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if math.Abs(pairs[i].Dist-want[i]) > 1e-9 {
+			t.Fatalf("pair %d dist %g, want %g", i, pairs[i].Dist, want[i])
+		}
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	b, _ := NewBuilder(nil)
+	if err := b.Insert(Object{ID: -1, Rect: NewRect(0, 0, 1, 1)}); err == nil {
+		t.Fatal("negative ID must be rejected")
+	}
+	if err := b.Insert(Object{ID: 1, Rect: Rect{MinX: 2, MaxX: 1}}); err == nil {
+		t.Fatal("invalid rect must be rejected")
+	}
+	if err := b.BulkReplace([]Object{{ID: 1 << 50, Rect: NewRect(0, 0, 1, 1)}}); err == nil {
+		t.Fatal("bulk oversized ID must be rejected")
+	}
+}
+
+func TestBuilderBulkReplaceAndSnapshotFile(t *testing.T) {
+	b, _ := NewBuilder(nil)
+	rng := rand.New(rand.NewSource(31))
+	objs := randObjects(rng, 500, 1000, 10)
+	if err := b.BulkReplace(objs); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 500 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	// BulkReplace discards previous contents.
+	if err := b.BulkReplace(objs[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 50 {
+		t.Fatalf("Len = %d after replace", b.Len())
+	}
+
+	path := filepath.Join(t.TempDir(), "snap.rtree")
+	snap, err := b.SnapshotFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 50 {
+		t.Fatalf("file snapshot Len = %d", snap.Len())
+	}
+	re, err := OpenIndexFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 50 {
+		t.Fatalf("reopened Len = %d", re.Len())
+	}
+}
+
+func TestIndexStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	objs := randObjects(rng, 5000, 10000, 20)
+	idx, err := NewIndex(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := idx.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != 5000 || st.Height < 2 || st.PageSize != 4096 {
+		t.Fatalf("stats = %+v", st)
+	}
+	total := 0
+	for _, n := range st.NodesPerLevel {
+		total += n
+	}
+	if total != st.Nodes {
+		t.Fatalf("per-level sum %d != nodes %d", total, st.Nodes)
+	}
+	if st.NodesPerLevel[st.Height-1] != 1 {
+		t.Fatalf("root level has %d nodes", st.NodesPerLevel[st.Height-1])
+	}
+	// STR bulk load targets ~85% fill.
+	if st.AvgLeafFill < 0.5 || st.AvgLeafFill > 1.0 {
+		t.Fatalf("AvgLeafFill = %g", st.AvgLeafFill)
+	}
+}

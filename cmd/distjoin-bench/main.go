@@ -1,0 +1,136 @@
+// Command distjoin-bench regenerates the paper's evaluation (§5): for
+// every figure and table it runs the corresponding experiment on the
+// TIGER-like synthetic workload and prints the same rows/series the
+// paper reports, as aligned text or CSV.
+//
+// Usage:
+//
+//	distjoin-bench [-exp all|fig10|table2|fig11|fig12|fig13|fig14|fig15|
+//	                     ablation-sweep|ablation-dq|ablation-correction|ablation-queue|ablation-estimator|ablation-split|queue-sizes]
+//	               [-scale 0.05] [-seed N] [-queue-mem bytes] [-buffer bytes]
+//	               [-csv]
+//
+// scale=1.0 reproduces the paper's full data sizes (633,461 streets x
+// 189,642 hydrographic objects, k up to 100,000); the default 0.05
+// keeps the k/N ratios while finishing in minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"distjoin/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (all, fig10, table2, fig11, fig12, fig13, fig14, fig15, ablation-sweep, ablation-dq, ablation-correction, ablation-queue, ablation-estimator, ablation-split, queue-sizes)")
+		scale    = flag.Float64("scale", 0.05, "workload scale relative to the paper's data sizes")
+		seed     = flag.Int64("seed", 0, "data generator seed (0 = default)")
+		queueMem = flag.Int("queue-mem", 0, "in-memory main queue bytes (0 = paper's 512 KB)")
+		buffer   = flag.Int("buffer", 0, "R-tree buffer pool bytes (0 = paper's 512 KB)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		svgDir   = flag.String("svg", "", "also write one SVG line chart per chartable table into this directory")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:         *scale,
+		Seed:          *seed,
+		QueueMemBytes: *queueMem,
+		BufferBytes:   *buffer,
+	}
+
+	tabs, err := run(*exp, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "distjoin-bench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range tabs {
+		if *csv {
+			fmt.Printf("# %s: %s\n", t.ID, t.Title)
+			t.CSV(os.Stdout)
+			fmt.Println()
+		} else {
+			t.Fprint(os.Stdout)
+		}
+	}
+	if *svgDir != "" {
+		if err := writeSVGs(*svgDir, tabs); err != nil {
+			fmt.Fprintf(os.Stderr, "distjoin-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeSVGs renders every chartable table as <dir>/<id>.svg;
+// non-numeric tables (e.g. table2) are skipped with a note.
+func writeSVGs(dir string, tabs []*experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range tabs {
+		path := filepath.Join(dir, t.ID+".svg")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = t.SVG(f)
+		cerr := f.Close()
+		if err != nil {
+			os.Remove(path)
+			fmt.Fprintf(os.Stderr, "note: %s not chartable (%v)\n", t.ID, err)
+			continue
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+func run(exp string, cfg experiments.Config) ([]*experiments.Table, error) {
+	one := func(t *experiments.Table, err error) ([]*experiments.Table, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{t}, nil
+	}
+	switch exp {
+	case "all":
+		return experiments.All(cfg)
+	case "fig10":
+		return experiments.Fig10(cfg)
+	case "table2":
+		return one(experiments.Table2(cfg))
+	case "fig11":
+		return one(experiments.Fig11(cfg))
+	case "fig12":
+		return experiments.Fig12(cfg)
+	case "fig13":
+		return one(experiments.Fig13(cfg))
+	case "fig14":
+		return experiments.Fig14(cfg)
+	case "fig15":
+		return one(experiments.Fig15(cfg))
+	case "ablation-sweep":
+		return one(experiments.AblationSweep(cfg))
+	case "ablation-dq":
+		return one(experiments.AblationDQ(cfg))
+	case "ablation-correction":
+		return one(experiments.AblationCorrection(cfg))
+	case "ablation-queue":
+		return one(experiments.AblationQueue(cfg))
+	case "ablation-estimator":
+		return one(experiments.AblationEstimator(cfg))
+	case "ablation-split":
+		return one(experiments.AblationSplit(cfg))
+	case "queue-sizes":
+		return one(experiments.QueueSizes(cfg))
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", exp)
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"distjoin/internal/experiments"
+)
+
+func TestRunDispatch(t *testing.T) {
+	cfg := experiments.Config{Scale: 0.002, Seed: 5}
+	// One representative single-table and one multi-table experiment.
+	tabs, err := run("table2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 1 || tabs[0].ID != "table2" {
+		t.Fatalf("table2 dispatch: %v", tabs)
+	}
+	tabs, err = run("fig12", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatalf("fig12 produced %d tables", len(tabs))
+	}
+	if _, err := run("nope", cfg); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestRunAllIDs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	cfg := experiments.Config{Scale: 0.002, Seed: 5}
+	tabs, err := run("all", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) < 15 {
+		t.Fatalf("all produced only %d tables", len(tabs))
+	}
+}

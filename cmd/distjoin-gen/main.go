@@ -1,0 +1,85 @@
+// Command distjoin-gen generates synthetic spatial data sets in the
+// distjoin binary dataset format, for use with distjoin-query.
+//
+// Usage:
+//
+//	distjoin-gen -kind streets|hydro|uniform|clusters -n 100000
+//	             [-seed 1] [-max-side 100] [-clusters 8] [-stddev 2000]
+//	             -out data.djds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distjoin/internal/datagen"
+	"distjoin/internal/rtree"
+)
+
+// buildItems generates n objects of the given kind.
+func buildItems(kind string, n int, seed int64, maxSide float64, clusters int, stddev float64) ([]rtree.Item, error) {
+	switch kind {
+	case "streets":
+		return datagen.TigerStreets(seed, n), nil
+	case "hydro":
+		return datagen.TigerHydro(seed, n), nil
+	case "uniform":
+		return datagen.Uniform(seed, n, datagen.World, maxSide), nil
+	case "clusters":
+		return datagen.GaussianClusters(seed, n, clusters, datagen.World, stddev, maxSide), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}
+
+func main() {
+	var (
+		kind     = flag.String("kind", "uniform", "data kind: streets, hydro, uniform, clusters")
+		n        = flag.Int("n", 100000, "number of objects")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		maxSide  = flag.Float64("max-side", 100, "max MBR side (uniform/clusters)")
+		clusters = flag.Int("clusters", 8, "cluster count (clusters)")
+		stddev   = flag.Float64("stddev", 2000, "cluster standard deviation (clusters)")
+		out      = flag.String("out", "", "output file (required)")
+		format   = flag.String("format", "binary", "output format: binary or csv")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "distjoin-gen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *n <= 0 {
+		fmt.Fprintln(os.Stderr, "distjoin-gen: -n must be positive")
+		os.Exit(2)
+	}
+
+	items, err := buildItems(*kind, *n, *seed, *maxSide, *clusters, *stddev)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "distjoin-gen: %v\n", err)
+		os.Exit(2)
+	}
+
+	var werr error
+	switch *format {
+	case "binary":
+		werr = datagen.WriteFile(*out, items)
+	case "csv":
+		var f *os.File
+		if f, werr = os.Create(*out); werr == nil {
+			werr = datagen.WriteCSV(f, items)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+		}
+	default:
+		werr = fmt.Errorf("unknown format %q", *format)
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "distjoin-gen: %v\n", werr)
+		os.Exit(1)
+	}
+	b := datagen.Bounds(items)
+	fmt.Printf("wrote %d %s objects to %s (bounds %v)\n", len(items), *kind, *out, b)
+}

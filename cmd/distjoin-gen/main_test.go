@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestBuildItemsKinds(t *testing.T) {
+	for _, kind := range []string{"streets", "hydro", "uniform", "clusters"} {
+		items, err := buildItems(kind, 500, 1, 100, 4, 1000)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(items) != 500 {
+			t.Fatalf("%s: %d items", kind, len(items))
+		}
+		for i, it := range items {
+			if !it.Rect.Valid() {
+				t.Fatalf("%s item %d invalid", kind, i)
+			}
+		}
+	}
+	if _, err := buildItems("nope", 10, 1, 1, 1, 1); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestBuildItemsDeterministic(t *testing.T) {
+	a, _ := buildItems("streets", 100, 9, 0, 0, 0)
+	b, _ := buildItems("streets", 100, 9, 0, 0, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"distjoin/internal/datagen"
+)
+
+func TestLoadIndex(t *testing.T) {
+	items := datagen.Uniform(3, 200, datagen.World, 50)
+	path := filepath.Join(t.TempDir(), "d.djds")
+	if err := datagen.WriteFile(path, items); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := loadIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 200 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	if _, err := loadIndex(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

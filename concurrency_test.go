@@ -1,0 +1,121 @@
+package distjoin
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Indexes are safe for concurrent queries: the buffer pool serializes
+// page access and every query carries its own queues and counters.
+func TestConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randObjects(rng, 800, 2000, 10)
+	b := randObjects(rng, 800, 2000, 10)
+	left, err := NewIndex(a, &IndexConfig{BufferBytes: 8192}) // tiny buffer: heavy contention
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := NewIndex(b, &IndexConfig{BufferBytes: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := KDistanceJoin(left, right, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*3)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			algo := []Algorithm{AMKDJ, BKDJ, HSKDJ}[w%3]
+			for i := 0; i < 5; i++ {
+				got, err := KDistanceJoin(left, right, 60, &Options{Algorithm: algo})
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range got {
+					if math.Abs(got[j].Dist-want[j].Dist) > 1e-9 {
+						errs <- errMismatch(algo, j)
+						return
+					}
+				}
+			}
+			// Interleave reads through the other entry points too.
+			if err := left.Search(NewRect(0, 0, 500, 500), func(Object) bool { return true }); err != nil {
+				errs <- err
+				return
+			}
+			if _, _, err := right.Nearest(PointRect(100, 100), 5); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errMismatch2 struct {
+	algo Algorithm
+	i    int
+}
+
+func (e errMismatch2) Error() string {
+	return e.algo.String() + ": concurrent result mismatch"
+}
+
+func errMismatch(a Algorithm, i int) error { return errMismatch2{algo: a, i: i} }
+
+// Concurrent incremental iterators over the same indexes are
+// independent.
+func TestConcurrentIterators(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randObjects(rng, 400, 1000, 10)
+	b := randObjects(rng, 400, 1000, 10)
+	left, _ := NewIndex(a, nil)
+	right, _ := NewIndex(b, nil)
+	want, err := KDistanceJoin(left, right, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	fail := make(chan string, 8)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			it, err := IncrementalJoin(left, right, &Options{BatchK: 30})
+			if err != nil {
+				fail <- err.Error()
+				return
+			}
+			for i := 0; i < 100; i++ {
+				p, ok := it.Next()
+				if !ok {
+					fail <- "iterator exhausted early"
+					return
+				}
+				if math.Abs(p.Dist-want[i].Dist) > 1e-9 {
+					fail <- "iterator result mismatch"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Fatal(msg)
+	}
+}

@@ -1,0 +1,488 @@
+// Package distjoin implements spatial distance join processing over
+// R*-tree indexes, reproducing "Adaptive Multi-Stage Distance Join
+// Processing" (Shin, Moon, Lee — ACM SIGMOD 2000).
+//
+// A spatial distance join ranks pairs of objects from two data sets by
+// the distance between them and returns the k nearest pairs — "find
+// the k closest hotel/restaurant pairs" — either with k known up front
+// (k-distance join) or incrementally with no preset bound (incremental
+// distance join). This package provides:
+//
+//   - Index: a paged R*-tree over rectangle (MBR) objects, built in
+//     memory or persisted to a file.
+//   - KDistanceJoin: the k-distance join, with a choice of algorithms —
+//     the paper's AM-KDJ (adaptive multi-stage, the default), B-KDJ
+//     (bidirectional expansion with optimized plane sweep), the HS-KDJ
+//     baseline, and the SJ-SORT spatial-join-then-sort baseline.
+//   - IncrementalJoin: the incremental distance join, returning an
+//     iterator (AM-IDJ by default, HS-IDJ as baseline).
+//
+// Quick start:
+//
+//	hotels, _ := distjoin.NewIndex(hotelObjs)
+//	rests, _ := distjoin.NewIndex(restObjs)
+//	pairs, _ := distjoin.KDistanceJoin(hotels, rests, 10, nil)
+//	for _, p := range pairs {
+//	    fmt.Println(p.LeftID, p.RightID, p.Dist)
+//	}
+package distjoin
+
+import (
+	"context"
+	"fmt"
+
+	"distjoin/internal/estimate"
+	"distjoin/internal/geom"
+	"distjoin/internal/join"
+	"distjoin/internal/metrics"
+	"distjoin/internal/rtree"
+	"distjoin/internal/storage"
+)
+
+// Rect is an axis-aligned rectangle (minimum bounding rectangle).
+type Rect = geom.Rect
+
+// Point is a location in the plane.
+type Point = geom.Point
+
+// Segment is a line segment — the exact geometry of street/river-style
+// data. Index segments by Segment.Bounds() and rank joins by true
+// segment distances with SegmentRefiner.
+type Segment = geom.Segment
+
+// NewRect returns the rectangle spanning the two corner coordinates.
+func NewRect(x1, y1, x2, y2 float64) Rect { return geom.NewRect(x1, y1, x2, y2) }
+
+// PointRect returns the degenerate rectangle covering exactly (x, y).
+func PointRect(x, y float64) Rect { return geom.RectFromPoint(geom.Point{X: x, Y: y}) }
+
+// Object is one spatial object: an application identifier and its MBR.
+// IDs must be non-negative and fit in 48 bits, and should be unique
+// within an index — self-join deduplication (SelfJoin, KClosestPairs)
+// distinguishes objects by ID alone.
+type Object struct {
+	ID   int64
+	Rect Rect
+}
+
+// Pair is one distance join result, produced in nondecreasing Dist
+// order.
+type Pair struct {
+	LeftID    int64
+	RightID   int64
+	LeftRect  Rect
+	RightRect Rect
+	Dist      float64
+}
+
+// Stats exposes the per-query performance counters of the paper's
+// evaluation: distance computations, queue insertions, R-tree node
+// accesses, and modeled I/O time.
+type Stats = metrics.Collector
+
+// Estimator predicts the distance of the k-th nearest pair, steering
+// the adaptive multi-stage algorithms' pruning. The default is the
+// paper's uniform model; NewHistogramEstimator builds the non-uniform
+// alternative.
+type Estimator = estimate.Estimator
+
+// Algorithm selects a distance join algorithm.
+type Algorithm int
+
+const (
+	// AMKDJ is the paper's adaptive multi-stage k-distance join
+	// (§4.1); for incremental joins it selects AM-IDJ (§4.2). Default.
+	AMKDJ Algorithm = iota
+	// BKDJ is the single-stage bidirectional k-distance join with
+	// optimized plane sweep (§3).
+	BKDJ
+	// HSKDJ is the Hjaltason & Samet baseline with uni-directional
+	// expansion; for incremental joins it selects HS-IDJ.
+	HSKDJ
+	// SJSort is the spatial-join-then-sort baseline; it requires a
+	// distance bound (Options.MaxDist) and is not incremental.
+	SJSort
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AMKDJ:
+		return "AM-KDJ"
+	case BKDJ:
+		return "B-KDJ"
+	case HSKDJ:
+		return "HS-KDJ"
+	case SJSort:
+		return "SJ-SORT"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options tunes a join query. The zero value (or a nil *Options)
+// selects the paper's defaults: AM-KDJ, 512 KB of main-queue memory,
+// fully optimized plane sweep.
+type Options struct {
+	// Algorithm selects the join algorithm.
+	Algorithm Algorithm
+	// QueueMemBytes bounds the in-memory portion of the main queue;
+	// longer-distance pairs spill to disk segments (§4.4).
+	QueueMemBytes int
+	// Stats, when non-nil, receives the query's performance counters.
+	Stats *Stats
+	// EDmax overrides the adaptive algorithms' initial estimated
+	// cutoff distance; zero uses the Eq. 3 estimate.
+	EDmax float64
+	// MaxDist is the within-distance bound for SJSort (ignored by the
+	// other algorithms).
+	MaxDist float64
+	// DisableSweepOptimization turns off the sweeping-axis and
+	// direction selection of §3.2–3.3 (always x-axis, forward), the
+	// configuration the paper's Figure 11 compares against.
+	DisableSweepOptimization bool
+	// BatchK sets the stage size of incremental AM-IDJ joins.
+	BatchK int
+	// Estimator overrides the eDmax estimator used by the adaptive
+	// multi-stage algorithms (AMKDJ and incremental AM-IDJ). Nil
+	// selects the paper's uniform-density model (Eq. 3-5); see
+	// NewHistogramEstimator for skewed data.
+	Estimator Estimator
+	// Context, when non-nil, cancels a running query: the algorithms
+	// poll it between queue operations and abort with its error.
+	Context context.Context
+	// SelfJoin adapts result semantics for joining an index with
+	// itself: identity pairs are suppressed and each unordered pair is
+	// produced once (LeftID < RightID). KClosestPairs sets this
+	// automatically.
+	SelfJoin bool
+	// Refiner, when non-nil, supplies the exact distance between two
+	// objects (e.g. between the true geometries their MBRs bound).
+	// Results are then ranked by exact distances via incremental
+	// refinement: indexed MBR distances serve as lower bounds and each
+	// candidate pair is refined exactly once, when it first reaches
+	// the head of the priority queue. The returned distance must be at
+	// least the MBR distance and at most the MBR maximum distance —
+	// true for any geometry contained in its MBR.
+	Refiner func(left, right Object) float64
+}
+
+// joinOptions lowers Options to the internal representation.
+func (o *Options) joinOptions() join.Options {
+	if o == nil {
+		return join.Options{}
+	}
+	jo := join.Options{
+		QueueMemBytes: o.QueueMemBytes,
+		Metrics:       o.Stats,
+		EDmax:         o.EDmax,
+		BatchK:        o.BatchK,
+		Estimator:     o.Estimator,
+		SelfJoin:      o.SelfJoin,
+		Context:       o.Context,
+	}
+	if o.DisableSweepOptimization {
+		sp := join.FixedSweep
+		jo.Sweep = &sp
+	}
+	if o.Refiner != nil {
+		refine := o.Refiner
+		jo.Refiner = func(leftObj, rightObj int64, leftRect, rightRect geom.Rect) float64 {
+			return refine(Object{ID: leftObj, Rect: leftRect}, Object{ID: rightObj, Rect: rightRect})
+		}
+	}
+	return jo
+}
+
+// Index is an immutable paged R*-tree over a set of objects.
+type Index struct {
+	tree *rtree.Tree
+}
+
+// IndexConfig tunes index construction.
+type IndexConfig struct {
+	// PageSize is the on-disk node page size (default 4096, the
+	// paper's setting).
+	PageSize int
+	// BufferBytes is the R-tree buffer pool capacity (default 512 KB,
+	// the paper's setting).
+	BufferBytes int
+}
+
+func (c *IndexConfig) pageSize() int {
+	if c == nil || c.PageSize <= 0 {
+		return storage.DefaultPageSize
+	}
+	return c.PageSize
+}
+
+func (c *IndexConfig) bufferBytes() int {
+	if c == nil || c.BufferBytes <= 0 {
+		return 512 * 1024
+	}
+	return c.BufferBytes
+}
+
+// NewIndex bulk-loads objects into an in-memory paged R*-tree.
+func NewIndex(objects []Object, cfg *IndexConfig) (*Index, error) {
+	return buildIndex(objects, cfg, storage.NewMemStore(cfg.pageSize()))
+}
+
+// CreateIndexFile bulk-loads objects into an R*-tree persisted at
+// path; reopen it later with OpenIndexFile.
+func CreateIndexFile(path string, objects []Object, cfg *IndexConfig) (*Index, error) {
+	store, err := storage.CreateFileStore(path, cfg.pageSize())
+	if err != nil {
+		return nil, err
+	}
+	return buildIndex(objects, cfg, store)
+}
+
+// OpenIndexFile opens an index previously written by CreateIndexFile.
+func OpenIndexFile(path string, cfg *IndexConfig) (*Index, error) {
+	store, err := storage.OpenFileStore(path, cfg.pageSize())
+	if err != nil {
+		return nil, err
+	}
+	tree, err := rtree.Open(store, cfg.bufferBytes())
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	return &Index{tree: tree}, nil
+}
+
+func buildIndex(objects []Object, cfg *IndexConfig, store storage.Store) (*Index, error) {
+	builder, err := rtree.NewBuilderForPageSize(cfg.pageSize())
+	if err != nil {
+		return nil, err
+	}
+	items := make([]rtree.Item, len(objects))
+	for i, o := range objects {
+		if !o.Rect.Valid() {
+			return nil, fmt.Errorf("distjoin: object %d has invalid rect %v", o.ID, o.Rect)
+		}
+		if o.ID < 0 || o.ID >= 1<<48 {
+			return nil, fmt.Errorf("distjoin: object ID %d out of range [0, 2^48)", o.ID)
+		}
+		items[i] = rtree.Item{Rect: o.Rect, Obj: o.ID}
+	}
+	builder.BulkLoad(items)
+	tree, err := builder.Pack(store, cfg.bufferBytes())
+	if err != nil {
+		return nil, err
+	}
+	return &Index{tree: tree}, nil
+}
+
+// Len returns the number of indexed objects.
+func (idx *Index) Len() int { return idx.tree.Size() }
+
+// Bounds returns the MBR of all indexed objects.
+func (idx *Index) Bounds() Rect { return idx.tree.Bounds() }
+
+// Height returns the number of R-tree levels.
+func (idx *Index) Height() int { return idx.tree.Height() }
+
+// Search invokes fn for every object whose MBR intersects query;
+// returning false stops early.
+func (idx *Index) Search(query Rect, fn func(Object) bool) error {
+	return idx.tree.Search(query, nil, func(it rtree.Item) bool {
+		return fn(Object{ID: it.Obj, Rect: it.Rect})
+	})
+}
+
+// Nearest returns the k objects nearest to query in nondecreasing
+// distance order.
+func (idx *Index) Nearest(query Rect, k int) ([]Object, []float64, error) {
+	ns, err := idx.tree.NearestNeighbors(query, k, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	objs := make([]Object, len(ns))
+	dists := make([]float64, len(ns))
+	for i, n := range ns {
+		objs[i] = Object{ID: n.Item.Obj, Rect: n.Item.Rect}
+		dists[i] = n.Dist
+	}
+	return objs, dists, nil
+}
+
+// NewHistogramEstimator builds a grid-histogram eDmax estimator over
+// the two indexes — the non-uniform-data strategy the paper lists as
+// future work (§6). On skewed data it estimates the k-th pair distance
+// far more accurately than the default uniform model, reducing the
+// adaptive algorithms' compensation work. Build it once per index pair
+// and reuse it via Options.Estimator. grid <= 0 selects a default.
+func NewHistogramEstimator(left, right *Index, grid int) (Estimator, error) {
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("distjoin: both indexes are required")
+	}
+	return join.NewHistogramEstimator(left.tree, right.tree, grid)
+}
+
+// KDistanceJoin returns the k nearest (left, right) object pairs in
+// nondecreasing distance order.
+func KDistanceJoin(left, right *Index, k int, opts *Options) ([]Pair, error) {
+	jo := opts.joinOptions()
+	algo := AMKDJ
+	if opts != nil {
+		algo = opts.Algorithm
+	}
+	var (
+		results []join.Result
+		err     error
+	)
+	switch algo {
+	case AMKDJ:
+		results, err = join.AMKDJ(left.tree, right.tree, k, jo)
+	case BKDJ:
+		results, err = join.BKDJ(left.tree, right.tree, k, jo)
+	case HSKDJ:
+		results, err = join.HSKDJ(left.tree, right.tree, k, jo)
+	case SJSort:
+		if opts == nil || opts.MaxDist <= 0 {
+			return nil, fmt.Errorf("distjoin: SJSort requires Options.MaxDist > 0")
+		}
+		results, err = join.SJSort(left.tree, right.tree, k, opts.MaxDist, jo)
+	default:
+		return nil, fmt.Errorf("distjoin: unknown algorithm %v", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return convertResults(results), nil
+}
+
+// Iterator produces incremental distance join results one pair at a
+// time, in nondecreasing distance order.
+type Iterator struct {
+	next func() (join.Result, bool)
+	err  func() error
+}
+
+// Next returns the next nearest pair; ok is false when the join is
+// exhausted or an error occurred (check Err).
+func (it *Iterator) Next() (Pair, bool) {
+	r, ok := it.next()
+	if !ok {
+		return Pair{}, false
+	}
+	return convertResult(r), true
+}
+
+// Err returns the first error encountered during iteration.
+func (it *Iterator) Err() error { return it.err() }
+
+// IncrementalJoin starts an incremental distance join — no stopping
+// cardinality required; pull as many pairs as needed from the
+// iterator. Algorithm AMKDJ selects AM-IDJ (default); HSKDJ selects
+// the HS-IDJ baseline.
+func IncrementalJoin(left, right *Index, opts *Options) (*Iterator, error) {
+	jo := opts.joinOptions()
+	algo := AMKDJ
+	if opts != nil {
+		algo = opts.Algorithm
+	}
+	switch algo {
+	case AMKDJ:
+		it, err := join.AMIDJ(left.tree, right.tree, jo)
+		if err != nil {
+			return nil, err
+		}
+		return &Iterator{next: it.Next, err: it.Err}, nil
+	case HSKDJ:
+		it, err := join.HSIDJ(left.tree, right.tree, jo)
+		if err != nil {
+			return nil, err
+		}
+		return &Iterator{next: it.Next, err: it.Err}, nil
+	default:
+		return nil, fmt.Errorf("distjoin: algorithm %v does not support incremental joins", algo)
+	}
+}
+
+func convertResults(rs []join.Result) []Pair {
+	if rs == nil {
+		return nil
+	}
+	out := make([]Pair, len(rs))
+	for i, r := range rs {
+		out[i] = convertResult(r)
+	}
+	return out
+}
+
+func convertResult(r join.Result) Pair {
+	return Pair{
+		LeftID:    r.LeftObj,
+		RightID:   r.RightObj,
+		LeftRect:  r.LeftRect,
+		RightRect: r.RightRect,
+		Dist:      r.Dist,
+	}
+}
+
+// SegmentRefiner builds an exact-distance refiner for data sets whose
+// objects are line segments, looked up by object ID. Pass it as
+// Options.Refiner to rank join results by true segment distances
+// instead of MBR distances.
+func SegmentRefiner(left, right func(id int64) Segment) func(a, b Object) float64 {
+	return func(a, b Object) float64 {
+		return left(a.ID).DistToSegment(right(b.ID))
+	}
+}
+
+// KClosestPairs returns the k closest distinct pairs of objects within
+// one index — the self-join form of the distance join: identity pairs
+// are excluded and each unordered pair appears once (LeftID < RightID).
+func KClosestPairs(idx *Index, k int, opts *Options) ([]Pair, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o.SelfJoin = true
+	return KDistanceJoin(idx, idx, k, &o)
+}
+
+// WithinJoin streams every (left, right) pair within maxDist to fn in
+// no particular order — the spatial join with a within predicate.
+// Returning false from fn stops early.
+func WithinJoin(left, right *Index, maxDist float64, opts *Options, fn func(Pair) bool) error {
+	if fn == nil {
+		return fmt.Errorf("distjoin: WithinJoin requires a callback")
+	}
+	return join.WithinJoin(left.tree, right.tree, maxDist, opts.joinOptions(), func(r join.Result) bool {
+		return fn(convertResult(r))
+	})
+}
+
+// AllNearest reports, for every object in left, its nearest object in
+// right (an all-nearest-neighbors semi-join). Returning false from fn
+// stops early. The right index must be non-empty unless left is empty.
+func AllNearest(left, right *Index, opts *Options, fn func(Pair) bool) error {
+	if fn == nil {
+		return fmt.Errorf("distjoin: AllNearest requires a callback")
+	}
+	return join.AllNearest(left.tree, right.tree, opts.joinOptions(), func(r join.Result) bool {
+		return fn(convertResult(r))
+	})
+}
+
+// KNNJoin reports, for every object in left, its k nearest objects in
+// right in nondecreasing distance order — one callback per left
+// object, whose pairs all share the same LeftID. Returning false stops
+// early. The right index must be non-empty unless left is empty.
+func KNNJoin(left, right *Index, k int, opts *Options, fn func(neighbors []Pair) bool) error {
+	if fn == nil {
+		return fmt.Errorf("distjoin: KNNJoin requires a callback")
+	}
+	buf := make([]Pair, 0, k)
+	return join.AllKNearest(left.tree, right.tree, k, opts.joinOptions(), func(ns []join.Result) bool {
+		buf = buf[:0]
+		for _, n := range ns {
+			buf = append(buf, convertResult(n))
+		}
+		return fn(buf)
+	})
+}

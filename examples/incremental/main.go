@@ -1,0 +1,91 @@
+// Incremental: the "It is enough already!" workflow of the paper's
+// introduction. An on-line application pulls nearest pairs batch by
+// batch with no stopping cardinality declared up front — the user can
+// stop whenever satisfied. The example pulls several batches from
+// AM-IDJ and from the HS-IDJ baseline and prints the cumulative work
+// after each batch, showing how the adaptive multi-stage algorithm
+// avoids the slow-start problem.
+//
+// Run with: go run ./examples/incremental [-n 30000] [-batch 500] [-batches 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"distjoin"
+)
+
+func main() {
+	n := flag.Int("n", 30000, "objects per data set")
+	batch := flag.Int("batch", 500, "pairs per user request")
+	batches := flag.Int("batches", 6, "number of user requests to simulate")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(11))
+	left, right := makeSets(rng, *n)
+	leftIdx, err := distjoin.NewIndex(left, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rightIdx, err := distjoin.NewIndex(right, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, algo := range []distjoin.Algorithm{distjoin.AMKDJ, distjoin.HSKDJ} {
+		name := "AM-IDJ"
+		if algo == distjoin.HSKDJ {
+			name = "HS-IDJ"
+		}
+		var stats distjoin.Stats
+		it, err := distjoin.IncrementalJoin(leftIdx, rightIdx, &distjoin.Options{
+			Algorithm: algo,
+			Stats:     &stats,
+			BatchK:    *batch,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s: pulling %d batches of %d pairs\n", name, *batches, *batch)
+		fmt.Printf("  %8s  %12s  %14s  %12s\n", "pairs", "last dist", "dist calcs", "queue ins")
+		stats.Start()
+		produced := 0
+		var last distjoin.Pair
+		for b := 0; b < *batches; b++ {
+			for i := 0; i < *batch; i++ {
+				p, ok := it.Next()
+				if !ok {
+					if err := it.Err(); err != nil {
+						log.Fatal(err)
+					}
+					fmt.Println("  (join exhausted)")
+					return
+				}
+				last = p
+				produced++
+			}
+			fmt.Printf("  %8d  %12.4f  %14d  %12d\n",
+				produced, last.Dist, stats.DistCalcs(), stats.QueueInserts())
+		}
+		stats.Finish()
+		fmt.Printf("  total response time: %v\n\n", stats.ResponseTime().Round(1000))
+	}
+	fmt.Println("AM-IDJ reaches each batch with a fraction of HS-IDJ's work —")
+	fmt.Println("the paper's Figure 12/15 behaviour.")
+}
+
+func makeSets(rng *rand.Rand, n int) (left, right []distjoin.Object) {
+	left = make([]distjoin.Object, n)
+	right = make([]distjoin.Object, n)
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64()*50000, rng.Float64()*50000
+		left[i] = distjoin.Object{ID: int64(i), Rect: distjoin.NewRect(x, y, x+20, y+20)}
+		x, y = rng.Float64()*50000, rng.Float64()*50000
+		right[i] = distjoin.Object{ID: int64(i), Rect: distjoin.NewRect(x, y, x+20, y+20)}
+	}
+	return left, right
+}

@@ -1,0 +1,64 @@
+// Quickstart: index two small sets of points and print the five
+// nearest pairs — the "hotels and restaurants" query from the paper's
+// introduction:
+//
+//	SELECT h.name, r.name
+//	FROM Hotel h, Restaurant r
+//	ORDER BY distance(h.location, r.location)
+//	STOP AFTER 5;
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distjoin"
+)
+
+func main() {
+	hotels := []struct {
+		name string
+		x, y float64
+	}{
+		{"Grand Plaza", 2, 3}, {"Desert Rose", 40, 8}, {"Canyon Inn", 18, 22},
+		{"Mesa Suites", 9, 30}, {"Saguaro Lodge", 33, 27},
+	}
+	restaurants := []struct {
+		name string
+		x, y float64
+	}{
+		{"Taco Sol", 3, 4}, {"Pasta Mia", 41, 10}, {"Noodle Bar", 20, 20},
+		{"Le Jardin", 10, 28}, {"Smokehouse", 30, 30}, {"Curry Leaf", 25, 5},
+	}
+
+	hotelObjs := make([]distjoin.Object, len(hotels))
+	for i, h := range hotels {
+		hotelObjs[i] = distjoin.Object{ID: int64(i), Rect: distjoin.PointRect(h.x, h.y)}
+	}
+	restObjs := make([]distjoin.Object, len(restaurants))
+	for i, r := range restaurants {
+		restObjs[i] = distjoin.Object{ID: int64(i), Rect: distjoin.PointRect(r.x, r.y)}
+	}
+
+	hotelIdx, err := distjoin.NewIndex(hotelObjs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restIdx, err := distjoin.NewIndex(restObjs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pairs, err := distjoin.KDistanceJoin(hotelIdx, restIdx, 5, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("The 5 closest hotel/restaurant pairs:")
+	for i, p := range pairs {
+		fmt.Printf("%d. %-14s <-> %-10s  distance %.2f\n",
+			i+1, hotels[p.LeftID].name, restaurants[p.RightID].name, p.Dist)
+	}
+}

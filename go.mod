@@ -1,0 +1,3 @@
+module distjoin
+
+go 1.22

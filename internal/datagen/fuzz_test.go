@@ -1,0 +1,52 @@
+package datagen
+
+import (
+	"bytes"
+	"testing"
+
+	"distjoin/internal/geom"
+	"distjoin/internal/rtree"
+)
+
+// FuzzReadFrom feeds arbitrary bytes to the dataset parser: it must
+// reject garbage with an error (never panic or over-allocate) and
+// round-trip everything it accepts.
+func FuzzReadFrom(f *testing.F) {
+	var valid bytes.Buffer
+	items := []rtree.Item{
+		{Rect: geom.NewRect(0, 0, 1, 1), Obj: 1},
+		{Rect: geom.NewRect(-5, 2, 7, 3), Obj: 42},
+	}
+	if err := WriteTo(&valid, items); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("DJDS0001garbage"))
+	f.Add([]byte{})
+	huge := append([]byte("DJDS0001"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, it := range got {
+			if !it.Rect.Valid() {
+				t.Fatalf("accepted invalid rect %v", it.Rect)
+			}
+		}
+		// Accepted data must round-trip.
+		var buf bytes.Buffer
+		if err := WriteTo(&buf, got); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(got) {
+			t.Fatalf("round trip changed count: %d vs %d", len(again), len(got))
+		}
+	})
+}

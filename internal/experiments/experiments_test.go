@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"distjoin/internal/join"
+)
+
+// tiny configuration so the whole suite runs in seconds.
+func tinyConfig() Config {
+	return Config{Scale: 0.002, Seed: 42}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 0.05 || c.QueueMemBytes != 512*1024 || c.BufferBytes != 512*1024 || c.Seed == 0 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	ks := c.KSeries()
+	if len(ks) != 5 || ks[0] < 1 || ks[4] != 5000 {
+		t.Fatalf("k series: %v", ks)
+	}
+	t2 := c.Table2KSeries()
+	if len(t2) != 4 {
+		t.Fatalf("table2 series: %v", t2)
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i] <= ks[i-1] {
+			t.Fatalf("k series not increasing: %v", ks)
+		}
+	}
+}
+
+func TestLoadCachesWorkload(t *testing.T) {
+	cfg := tinyConfig()
+	w1, err := Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != w2 {
+		t.Fatal("same config must return the cached workload")
+	}
+	if w1.Streets.Size() == 0 || w1.Hydro.Size() == 0 {
+		t.Fatal("empty workload trees")
+	}
+}
+
+func TestDmaxOracle(t *testing.T) {
+	w, err := Load(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d10, err := w.Dmax(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d100, err := w.Dmax(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping streets/hydro make distance-0 pairs legitimate; the
+	// oracle must only be nonnegative and monotone in k.
+	if d10 < 0 || d100 < d10 {
+		t.Fatalf("oracle not monotone: Dmax(10)=%g Dmax(100)=%g", d10, d100)
+	}
+	if _, err := w.Dmax(0); err == nil {
+		t.Fatal("Dmax(0) must error")
+	}
+}
+
+func TestRunKDJAllAlgorithms(t *testing.T) {
+	w, err := Load(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Algo{AlgoHSKDJ, AlgoBKDJ, AlgoAMKDJ, AlgoSJSort} {
+		mc, err := w.RunKDJ(a, 20, join.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if mc.DistCalcs() == 0 {
+			t.Fatalf("%s: no distance computations recorded", a)
+		}
+		if mc.NodeAccessesLogical == 0 {
+			t.Fatalf("%s: no node accesses recorded", a)
+		}
+	}
+	if _, err := w.RunKDJ(Algo("nope"), 10, join.Options{}); err == nil {
+		t.Fatal("unknown algorithm must error")
+	}
+}
+
+func TestRunIDJ(t *testing.T) {
+	w, err := Load(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Algo{AlgoHSIDJ, AlgoAMIDJ} {
+		mc, err := w.RunIDJ(a, 25, join.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if mc.ResultsProduced != 25 {
+			t.Fatalf("%s: produced %d, want 25", a, mc.ResultsProduced)
+		}
+	}
+	if _, err := w.RunIDJ(Algo("nope"), 10, join.Options{}); err == nil {
+		t.Fatal("unknown algorithm must error")
+	}
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	tabs, err := All(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{
+		"fig10a", "fig10b", "fig10c", "table2", "fig11",
+		"fig12a", "fig12b", "fig12c", "fig13",
+		"fig14a", "fig14b", "fig14c", "fig15",
+		"ablation-sweep", "ablation-dq", "ablation-correction", "ablation-queue",
+		"ablation-estimator", "ablation-split", "queue-sizes",
+	}
+	if len(tabs) != len(wantIDs) {
+		t.Fatalf("got %d tables, want %d", len(tabs), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if tabs[i].ID != id {
+			t.Fatalf("table %d = %q, want %q", i, tabs[i].ID, id)
+		}
+		if len(tabs[i].Rows) == 0 {
+			t.Fatalf("table %q has no rows", id)
+		}
+		var buf bytes.Buffer
+		tabs[i].Fprint(&buf)
+		if !strings.Contains(buf.String(), tabs[i].ID) {
+			t.Fatalf("Fprint of %q missing ID", id)
+		}
+		buf.Reset()
+		tabs[i].CSV(&buf)
+		if lines := strings.Count(buf.String(), "\n"); lines != len(tabs[i].Rows)+1 {
+			t.Fatalf("CSV of %q has %d lines, want %d", id, lines, len(tabs[i].Rows)+1)
+		}
+	}
+}
+
+// The paper's headline comparisons, verified as inequalities on the
+// tiny workload (who wins; exact factors vary with scale).
+func TestHeadlineShapes(t *testing.T) {
+	cfg := Config{Scale: 0.01, Seed: 7}
+	w, err := Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := cfg.KSeries()[3] // the 10k-equivalent point
+	hs, err := w.RunKDJ(AlgoHSKDJ, k, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, err := w.RunKDJ(AlgoBKDJ, k, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := w.RunKDJ(AlgoAMKDJ, k, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 10(a): B-KDJ and AM-KDJ compute far fewer distances than HS.
+	if bk.DistCalcs() >= hs.DistCalcs() {
+		t.Errorf("B-KDJ dist calcs %d !< HS-KDJ %d", bk.DistCalcs(), hs.DistCalcs())
+	}
+	if am.DistCalcs() >= hs.DistCalcs() {
+		t.Errorf("AM-KDJ dist calcs %d !< HS-KDJ %d", am.DistCalcs(), hs.DistCalcs())
+	}
+	// Fig 10(b): AM-KDJ inserts no more than B-KDJ.
+	if am.QueueInserts() > bk.QueueInserts() {
+		t.Errorf("AM-KDJ queue inserts %d > B-KDJ %d", am.QueueInserts(), bk.QueueInserts())
+	}
+	// Table 2: bidirectional expansion reads far fewer nodes unbuffered.
+	if bk.NodeAccessesLogical >= hs.NodeAccessesLogical {
+		t.Errorf("B-KDJ logical node accesses %d !< HS-KDJ %d",
+			bk.NodeAccessesLogical, hs.NodeAccessesLogical)
+	}
+	// IDJ: AM-IDJ eliminates most of HS-IDJ's work (Fig 12).
+	hsi, err := w.RunIDJ(AlgoHSIDJ, k, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ami, err := w.RunIDJ(AlgoAMIDJ, k, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ami.DistCalcs() >= hsi.DistCalcs() {
+		t.Errorf("AM-IDJ dist calcs %d !< HS-IDJ %d", ami.DistCalcs(), hsi.DistCalcs())
+	}
+	if ami.QueueInserts() >= hsi.QueueInserts() {
+		t.Errorf("AM-IDJ queue inserts %d !< HS-IDJ %d", ami.QueueInserts(), hsi.QueueInserts())
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "a note", "bb"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// SVG renders the table as a line chart — one series per value column
+// over the first (x) column — approximating the paper's figures. Axes
+// switch to log scale when the data spans more than a decade of
+// positive values, as the paper's plots do. Tables with non-numeric
+// cells (e.g. Table 2's "a (b)" entries) are not renderable and return
+// an error.
+func (t *Table) SVG(w io.Writer) error {
+	xs, series, err := t.numericColumns()
+	if err != nil {
+		return err
+	}
+	const (
+		width   = 640
+		height  = 420
+		mLeft   = 70
+		mRight  = 160
+		mTop    = 40
+		mBottom = 50
+	)
+	plotW := float64(width - mLeft - mRight)
+	plotH := float64(height - mTop - mBottom)
+
+	xScale := newAxisScale(xs)
+	var all []float64
+	for _, s := range series {
+		all = append(all, s.values...)
+	}
+	yScale := newAxisScale(all)
+
+	px := func(x float64) float64 { return mLeft + xScale.frac(x)*plotW }
+	py := func(y float64) float64 { return mTop + (1-yScale.frac(y))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="13" font-weight="bold">%s: %s</text>`+"\n",
+		mLeft, xmlEscape(t.ID), xmlEscape(t.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		mLeft, mTop, mLeft, height-mBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		mLeft, height-mBottom, width-mRight, height-mBottom)
+
+	// Ticks.
+	for _, tick := range xScale.ticks() {
+		x := px(tick)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			x, height-mBottom, x, height-mBottom+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x, height-mBottom+18, fmtTick(tick))
+	}
+	for _, tick := range yScale.ticks() {
+		y := py(tick)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			mLeft-4, y, mLeft, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			mLeft-8, y, fmtTick(tick))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		mLeft+int(plotW/2), height-12, xmlEscape(t.Columns[0]))
+
+	// Series.
+	palette := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+	for i, s := range series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j, v := range s.values {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(xs[j]), py(v)))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		for j, v := range s.values {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+				px(xs[j]), py(v), color)
+		}
+		// Legend.
+		ly := mTop + 16*i
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1.8"/>`+"\n",
+			width-mRight+10, ly, width-mRight+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" dominant-baseline="middle">%s</text>`+"\n",
+			width-mRight+40, ly, xmlEscape(s.name))
+	}
+	b.WriteString("</svg>\n")
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// numericColumns parses the table into an x vector and value series.
+func (t *Table) numericColumns() ([]float64, []svgSeries, error) {
+	if len(t.Columns) < 2 || len(t.Rows) == 0 {
+		return nil, nil, fmt.Errorf("experiments: table %q is not chartable", t.ID)
+	}
+	xs := make([]float64, len(t.Rows))
+	series := make([]svgSeries, len(t.Columns)-1)
+	for i := range series {
+		series[i] = svgSeries{name: t.Columns[i+1], values: make([]float64, len(t.Rows))}
+	}
+	for r, row := range t.Rows {
+		if len(row) != len(t.Columns) {
+			return nil, nil, fmt.Errorf("experiments: table %q row %d is ragged", t.ID, r)
+		}
+		for cIdx, cell := range row {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("experiments: table %q cell %q is not numeric", t.ID, cell)
+			}
+			if cIdx == 0 {
+				xs[r] = v
+			} else {
+				series[cIdx-1].values[r] = v
+			}
+		}
+	}
+	return xs, series, nil
+}
+
+type svgSeries struct {
+	name   string
+	values []float64
+}
+
+// axisScale maps data values to [0,1], linearly or logarithmically.
+type axisScale struct {
+	log      bool
+	min, max float64
+}
+
+func newAxisScale(vals []float64) axisScale {
+	min, max := math.Inf(1), math.Inf(-1)
+	allPos := true
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		if v <= 0 {
+			allPos = false
+		}
+	}
+	if !(min < math.Inf(1)) {
+		min, max = 0, 1
+	}
+	if min == max {
+		// Degenerate: widen so frac is defined.
+		if min == 0 {
+			max = 1
+		} else {
+			min, max = min*0.9, max*1.1
+		}
+	}
+	if allPos && max/min > 10 {
+		return axisScale{log: true, min: min, max: max}
+	}
+	return axisScale{min: min, max: max}
+}
+
+func (a axisScale) frac(v float64) float64 {
+	var f float64
+	if a.log {
+		f = (math.Log10(v) - math.Log10(a.min)) / (math.Log10(a.max) - math.Log10(a.min))
+	} else {
+		f = (v - a.min) / (a.max - a.min)
+	}
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// ticks returns 4-6 tick positions.
+func (a axisScale) ticks() []float64 {
+	if a.log {
+		var out []float64
+		for p := math.Floor(math.Log10(a.min)); p <= math.Ceil(math.Log10(a.max)); p++ {
+			v := math.Pow(10, p)
+			if v >= a.min*0.999 && v <= a.max*1.001 {
+				out = append(out, v)
+			}
+		}
+		if len(out) >= 2 {
+			return out
+		}
+	}
+	const n = 5
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, a.min+(a.max-a.min)*float64(i)/(n-1))
+	}
+	return out
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3ge6", v/1e6)
+	case av >= 1000:
+		return fmt.Sprintf("%.4gk", v/1000)
+	case av == 0:
+		return "0"
+	case av < 0.01:
+		return fmt.Sprintf("%.1e", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,227 @@
+// Package geom provides the planar geometric primitives used by the
+// distance join algorithms: points, axis-aligned rectangles (MBRs), and
+// the distance functions of Lemma 1 of the paper (minimum, maximum, and
+// per-axis distances between rectangles).
+//
+// All coordinates are float64 and all rectangles are closed intervals
+// [MinX,MaxX] x [MinY,MaxY]. Degenerate rectangles (points, horizontal
+// or vertical segments) are valid.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dims is the dimensionality of the space. The paper's data and
+// evaluation are two-dimensional; the sweeping-axis selection of §3.2
+// chooses between the Dims axes.
+const Dims = 2
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Coord returns the coordinate of p along axis (0 = x, 1 = y).
+func (p Point) Coord(axis int) float64 {
+	if axis == 0 {
+		return p.X
+	}
+	return p.Y
+}
+
+// Rect is an axis-aligned rectangle, the minimum bounding rectangle
+// (MBR) representation used throughout the R-tree and join code.
+type Rect struct {
+	MinX, MinY float64
+	MaxX, MaxY float64
+}
+
+// RectFromPoint returns the degenerate rectangle covering exactly p.
+func RectFromPoint(p Point) Rect {
+	return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+}
+
+// NewRect returns the rectangle with the given corner coordinates,
+// normalizing so that Min <= Max on both axes.
+func NewRect(x1, y1, x2, y2 float64) Rect {
+	if x2 < x1 {
+		x1, x2 = x2, x1
+	}
+	if y2 < y1 {
+		y1, y2 = y2, y1
+	}
+	return Rect{MinX: x1, MinY: y1, MaxX: x2, MaxY: y2}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%g,%g]x[%g,%g]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// Valid reports whether the rectangle is well-formed (Min <= Max on
+// both axes and no NaN coordinates).
+func (r Rect) Valid() bool {
+	return r.MinX <= r.MaxX && r.MinY <= r.MaxY &&
+		!math.IsNaN(r.MinX) && !math.IsNaN(r.MinY) &&
+		!math.IsNaN(r.MaxX) && !math.IsNaN(r.MaxY)
+}
+
+// Min returns the lower bound of r along axis (0 = x, 1 = y).
+func (r Rect) Min(axis int) float64 {
+	if axis == 0 {
+		return r.MinX
+	}
+	return r.MinY
+}
+
+// Max returns the upper bound of r along axis (0 = x, 1 = y).
+func (r Rect) Max(axis int) float64 {
+	if axis == 0 {
+		return r.MaxX
+	}
+	return r.MaxY
+}
+
+// Side returns the side length of r along axis. This is the |r|_x of
+// the sweeping-index formulae (paper §3.2).
+func (r Rect) Side(axis int) float64 {
+	return r.Max(axis) - r.Min(axis)
+}
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2}
+}
+
+// Area returns the area of r. Degenerate rectangles have zero area.
+func (r Rect) Area() float64 {
+	return (r.MaxX - r.MinX) * (r.MaxY - r.MinY)
+}
+
+// Margin returns half the perimeter of r, the R*-tree split heuristic's
+// "margin" measure.
+func (r Rect) Margin() float64 {
+	return (r.MaxX - r.MinX) + (r.MaxY - r.MinY)
+}
+
+// Union returns the smallest rectangle covering both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX),
+		MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX),
+		MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// Intersects reports whether r and s share at least one point
+// (closed-interval semantics: touching edges intersect).
+func (r Rect) Intersects(s Rect) bool {
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX &&
+		r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Contains reports whether r fully contains s.
+func (r Rect) Contains(s Rect) bool {
+	return r.MinX <= s.MinX && s.MaxX <= r.MaxX &&
+		r.MinY <= s.MinY && s.MaxY <= r.MaxY
+}
+
+// ContainsPoint reports whether p lies inside r (boundary inclusive).
+func (r Rect) ContainsPoint(p Point) bool {
+	return r.MinX <= p.X && p.X <= r.MaxX && r.MinY <= p.Y && p.Y <= r.MaxY
+}
+
+// Intersection returns the overlap of r and s and whether it is
+// non-empty. The returned rectangle is the zero Rect when empty.
+func (r Rect) Intersection(s Rect) (Rect, bool) {
+	out := Rect{
+		MinX: math.Max(r.MinX, s.MinX),
+		MinY: math.Max(r.MinY, s.MinY),
+		MaxX: math.Min(r.MaxX, s.MaxX),
+		MaxY: math.Min(r.MaxY, s.MaxY),
+	}
+	if out.MinX > out.MaxX || out.MinY > out.MaxY {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+// OverlapArea returns the area of the intersection of r and s, or 0 if
+// they do not intersect.
+func (r Rect) OverlapArea(s Rect) float64 {
+	ix := math.Min(r.MaxX, s.MaxX) - math.Max(r.MinX, s.MinX)
+	if ix <= 0 {
+		return 0
+	}
+	iy := math.Min(r.MaxY, s.MaxY) - math.Max(r.MinY, s.MinY)
+	if iy <= 0 {
+		return 0
+	}
+	return ix * iy
+}
+
+// Enlargement returns the area increase of r needed to include s.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// AxisDist returns the distance between the projections of r and s onto
+// the given axis: zero when the projections overlap, otherwise the gap
+// between them. By construction AxisDist <= MinDist, which is what
+// makes it a safe cheap filter during plane sweeping (paper §3.1).
+func (r Rect) AxisDist(s Rect, axis int) float64 {
+	lo1, hi1 := r.Min(axis), r.Max(axis)
+	lo2, hi2 := s.Min(axis), s.Max(axis)
+	switch {
+	case hi1 < lo2:
+		return lo2 - hi1
+	case hi2 < lo1:
+		return lo1 - hi2
+	default:
+		return 0
+	}
+}
+
+// MinDistSq returns the squared minimum Euclidean distance between any
+// point of r and any point of s (zero when they intersect).
+func (r Rect) MinDistSq(s Rect) float64 {
+	dx := r.AxisDist(s, 0)
+	dy := r.AxisDist(s, 1)
+	return dx*dx + dy*dy
+}
+
+// MinDist returns the minimum Euclidean distance between r and s. This
+// is the dist(r, s) of Lemma 1: for R-tree nodes it lower-bounds the
+// distance between any pair of objects stored under them.
+func (r Rect) MinDist(s Rect) float64 {
+	return math.Sqrt(r.MinDistSq(s))
+}
+
+// axisSpan returns the largest coordinate gap between the projections
+// of r and s onto axis, i.e. the farthest-endpoints distance.
+func axisSpan(r, s Rect, axis int) float64 {
+	lo := math.Min(r.Min(axis), s.Min(axis))
+	hi := math.Max(r.Max(axis), s.Max(axis))
+	return hi - lo
+}
+
+// MaxDist returns the maximum Euclidean distance between any point of r
+// and any point of s. Used when non-object pairs are inserted into a
+// distance queue (paper §3.1, footnote 1).
+func (r Rect) MaxDist(s Rect) float64 {
+	dx := axisSpan(r, s, 0)
+	dy := axisSpan(r, s, 1)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// CenterDist returns the Euclidean distance between the centers of r
+// and s.
+func (r Rect) CenterDist(s Rect) float64 {
+	a, b := r.Center(), s.Center()
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}

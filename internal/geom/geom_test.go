@@ -1,0 +1,336 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(3, 7, 1, 2)
+	want := Rect{MinX: 1, MinY: 2, MaxX: 3, MaxY: 7}
+	if r != want {
+		t.Fatalf("NewRect(3,7,1,2) = %v, want %v", r, want)
+	}
+	if !r.Valid() {
+		t.Fatalf("normalized rect should be valid: %v", r)
+	}
+}
+
+func TestRectFromPoint(t *testing.T) {
+	p := Point{X: 4, Y: -2}
+	r := RectFromPoint(p)
+	if r.Area() != 0 {
+		t.Errorf("point rect area = %g, want 0", r.Area())
+	}
+	if !r.ContainsPoint(p) {
+		t.Errorf("point rect should contain its point")
+	}
+	if c := r.Center(); c != p {
+		t.Errorf("center = %v, want %v", c, p)
+	}
+}
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		r    Rect
+		want bool
+	}{
+		{Rect{0, 0, 1, 1}, true},
+		{Rect{0, 0, 0, 0}, true},
+		{Rect{1, 0, 0, 1}, false},
+		{Rect{0, 1, 1, 0}, false},
+		{Rect{math.NaN(), 0, 1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.r.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+func TestSideAndMargin(t *testing.T) {
+	r := Rect{MinX: 1, MinY: 2, MaxX: 4, MaxY: 10}
+	if got := r.Side(0); got != 3 {
+		t.Errorf("Side(0) = %g, want 3", got)
+	}
+	if got := r.Side(1); got != 8 {
+		t.Errorf("Side(1) = %g, want 8", got)
+	}
+	if got := r.Margin(); got != 11 {
+		t.Errorf("Margin = %g, want 11", got)
+	}
+	if got := r.Area(); got != 24 {
+		t.Errorf("Area = %g, want 24", got)
+	}
+}
+
+func TestUnionContains(t *testing.T) {
+	a := Rect{0, 0, 1, 1}
+	b := Rect{2, 3, 5, 4}
+	u := a.Union(b)
+	if !u.Contains(a) || !u.Contains(b) {
+		t.Fatalf("union %v must contain both operands", u)
+	}
+	if u != (Rect{0, 0, 5, 4}) {
+		t.Fatalf("union = %v, want [0,5]x[0,4]", u)
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	b := Rect{2, 2, 6, 6}
+	got, ok := a.Intersection(b)
+	if !ok || got != (Rect{2, 2, 4, 4}) {
+		t.Fatalf("Intersection = %v,%v; want [2,4]x[2,4],true", got, ok)
+	}
+	c := Rect{5, 5, 6, 6}
+	if _, ok := a.Intersection(c); ok {
+		t.Fatalf("disjoint rects must not intersect")
+	}
+	// Touching edges intersect under closed semantics.
+	d := Rect{4, 0, 5, 4}
+	if inter, ok := a.Intersection(d); !ok || inter.Area() != 0 {
+		t.Fatalf("touching rects: got %v,%v; want zero-area,true", inter, ok)
+	}
+}
+
+func TestOverlapArea(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	cases := []struct {
+		b    Rect
+		want float64
+	}{
+		{Rect{2, 2, 6, 6}, 4},
+		{Rect{5, 5, 6, 6}, 0},
+		{Rect{4, 0, 5, 4}, 0}, // edge touch
+		{Rect{1, 1, 2, 2}, 1}, // containment
+		{a, 16},
+	}
+	for _, c := range cases {
+		if got := a.OverlapArea(c.b); got != c.want {
+			t.Errorf("OverlapArea(%v,%v) = %g, want %g", a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAxisDist(t *testing.T) {
+	a := Rect{0, 0, 1, 1}
+	b := Rect{3, 0, 4, 1}
+	if got := a.AxisDist(b, 0); got != 2 {
+		t.Errorf("x axis dist = %g, want 2", got)
+	}
+	if got := a.AxisDist(b, 1); got != 0 {
+		t.Errorf("y axis dist = %g, want 0", got)
+	}
+	if got := b.AxisDist(a, 0); got != 2 {
+		t.Errorf("axis dist must be symmetric; got %g", got)
+	}
+}
+
+func TestMinDistKnownValues(t *testing.T) {
+	a := Rect{0, 0, 1, 1}
+	cases := []struct {
+		b    Rect
+		want float64
+	}{
+		{Rect{2, 0, 3, 1}, 1},               // side by side
+		{Rect{0, 3, 1, 4}, 2},               // stacked
+		{Rect{4, 5, 6, 7}, 5},               // 3-4-5 diagonal
+		{Rect{0.5, 0.5, 2, 2}, 0},           // overlapping
+		{Rect{1, 1, 2, 2}, 0},               // corner touch
+		{RectFromPoint(Point{4, 5}), 5},     // point target
+		{RectFromPoint(Point{0.5, 0.5}), 0}, // point inside
+		{RectFromPoint(Point{-3, 0.5}), 3},  // point left
+	}
+	for _, c := range cases {
+		if got := a.MinDist(c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MinDist(%v,%v) = %g, want %g", a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMaxDistKnownValues(t *testing.T) {
+	a := Rect{0, 0, 1, 1}
+	b := Rect{2, 0, 3, 1}
+	// Farthest corners: (0,0)-(3,1) or (0,1)-(3,0): sqrt(9+1)
+	if got, want := a.MaxDist(b), math.Sqrt(10); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MaxDist = %g, want %g", got, want)
+	}
+	if got, want := a.MaxDist(a), math.Sqrt2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MaxDist(self) = %g, want diagonal %g", got, want)
+	}
+}
+
+func TestCenterDist(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	b := Rect{3, 4, 5, 4}
+	// centers (1,1) and (4,4): distance sqrt(9+9)
+	if got, want := a.CenterDist(b), math.Sqrt(18); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CenterDist = %g, want %g", got, want)
+	}
+}
+
+func randRect(rng *rand.Rand) Rect {
+	return NewRect(rng.Float64()*100, rng.Float64()*100,
+		rng.Float64()*100, rng.Float64()*100)
+}
+
+// Property: axisDist(a,b) <= minDist(a,b) <= maxDist(a,b) and
+// axis distances lower-bound the real distance on each axis.
+func TestDistanceOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		a, b := randRect(rng), randRect(rng)
+		min := a.MinDist(b)
+		max := a.MaxDist(b)
+		for axis := 0; axis < Dims; axis++ {
+			ad := a.AxisDist(b, axis)
+			if ad > min+1e-9 {
+				t.Fatalf("axisDist[%d]=%g > minDist=%g for %v,%v", axis, ad, min, a, b)
+			}
+		}
+		if min > max+1e-9 {
+			t.Fatalf("minDist=%g > maxDist=%g for %v,%v", min, max, a, b)
+		}
+		if a.Intersects(b) && min != 0 {
+			t.Fatalf("intersecting rects must have minDist 0, got %g", min)
+		}
+		if !a.Intersects(b) && min == 0 {
+			t.Fatalf("disjoint rects must have minDist > 0: %v %v", a, b)
+		}
+	}
+}
+
+// Property: union is commutative, idempotent, and monotone in area.
+func TestUnionProperties(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3, x4, y4 float64) bool {
+		a := NewRect(clamp(x1), clamp(y1), clamp(x2), clamp(y2))
+		b := NewRect(clamp(x3), clamp(y3), clamp(x4), clamp(y4))
+		u := a.Union(b)
+		return u == b.Union(a) &&
+			u.Union(a) == u &&
+			u.Area() >= a.Area() && u.Area() >= b.Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MinDist is symmetric and satisfies identity on overlap.
+func TestMinDistSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		a, b := randRect(rng), randRect(rng)
+		if d1, d2 := a.MinDist(b), b.MinDist(a); d1 != d2 {
+			t.Fatalf("MinDist not symmetric: %g vs %g", d1, d2)
+		}
+	}
+}
+
+// Property: enlargement is non-negative and zero iff containment.
+func TestEnlargementProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		a, b := randRect(rng), randRect(rng)
+		e := a.Enlargement(b)
+		if e < -1e-9 {
+			t.Fatalf("negative enlargement %g", e)
+		}
+		if a.Contains(b) && e > 1e-9 {
+			t.Fatalf("containment must imply zero enlargement, got %g", e)
+		}
+	}
+}
+
+// Property: MinDist between rects equals the brute-force min over a
+// sampled grid of boundary points (sanity via discretization).
+func TestMinDistAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		a, b := randRect(rng), randRect(rng)
+		want := a.MinDist(b)
+		got := sampledMinDist(a, b, 20)
+		// sampling can only overestimate
+		if got < want-1e-9 {
+			t.Fatalf("sampled %g < analytic %g for %v,%v", got, want, a, b)
+		}
+		if a.Intersects(b) {
+			continue
+		}
+		// With 20x20 samples the overestimate is bounded by the sum of
+		// sample pitches along each side.
+		pitch := (a.Side(0) + a.Side(1) + b.Side(0) + b.Side(1)) / 20
+		if got > want+2*pitch+1e-9 {
+			t.Fatalf("sampled %g too far above analytic %g (pitch %g)", got, want, pitch)
+		}
+	}
+}
+
+func sampledMinDist(a, b Rect, n int) float64 {
+	best := math.Inf(1)
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			pa := Point{
+				X: a.MinX + a.Side(0)*float64(i)/float64(n),
+				Y: a.MinY + a.Side(1)*float64(j)/float64(n),
+			}
+			for k := 0; k <= n; k++ {
+				for l := 0; l <= n; l++ {
+					pb := Point{
+						X: b.MinX + b.Side(0)*float64(k)/float64(n),
+						Y: b.MinY + b.Side(1)*float64(l)/float64(n),
+					}
+					dx, dy := pa.X-pb.X, pa.Y-pb.Y
+					if d := math.Sqrt(dx*dx + dy*dy); d < best {
+						best = d
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+func clamp(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1000)
+}
+
+func TestPointCoord(t *testing.T) {
+	p := Point{X: 1, Y: 2}
+	if p.Coord(0) != 1 || p.Coord(1) != 2 {
+		t.Fatalf("Coord mismatch: %v", p)
+	}
+}
+
+func BenchmarkMinDist(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rects := make([]Rect, 1024)
+	for i := range rects {
+		rects[i] = randRect(rng)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += rects[i%1024].MinDist(rects[(i+7)%1024])
+	}
+	_ = sink
+}
+
+func BenchmarkAxisDist(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rects := make([]Rect, 1024)
+	for i := range rects {
+		rects[i] = randRect(rng)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += rects[i%1024].AxisDist(rects[(i+7)%1024], 0)
+	}
+	_ = sink
+}

@@ -1,0 +1,126 @@
+package geom
+
+import "math"
+
+// Segment is a line segment between two points — the exact geometry of
+// street and river data whose MBRs the R-tree indexes. It exists so
+// distance joins over such data can rank by true segment distances via
+// a refiner, with the MBR distance as the index-level lower bound.
+type Segment struct {
+	A, B Point
+}
+
+// Bounds returns the segment's MBR.
+func (s Segment) Bounds() Rect {
+	return NewRect(s.A.X, s.A.Y, s.B.X, s.B.Y)
+}
+
+// Length returns the segment's length.
+func (s Segment) Length() float64 {
+	return math.Hypot(s.B.X-s.A.X, s.B.Y-s.A.Y)
+}
+
+// DistToPoint returns the minimum distance from p to the segment.
+func (s Segment) DistToPoint(p Point) float64 {
+	dx, dy := s.B.X-s.A.X, s.B.Y-s.A.Y
+	lenSq := dx*dx + dy*dy
+	if lenSq == 0 {
+		return math.Hypot(p.X-s.A.X, p.Y-s.A.Y)
+	}
+	// Project p onto the segment's support line, clamped to [0, 1].
+	t := ((p.X-s.A.X)*dx + (p.Y-s.A.Y)*dy) / lenSq
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	cx, cy := s.A.X+t*dx, s.A.Y+t*dy
+	return math.Hypot(p.X-cx, p.Y-cy)
+}
+
+// orient returns the sign of the cross product (b-a) x (c-a): positive
+// for a counter-clockwise turn, negative for clockwise, 0 for
+// collinear.
+func orient(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// onSegment reports whether collinear point c lies within the bounding
+// box of segment ab.
+func onSegment(a, b, c Point) bool {
+	return math.Min(a.X, b.X) <= c.X && c.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= c.Y && c.Y <= math.Max(a.Y, b.Y)
+}
+
+// Intersects reports whether the two segments share at least one
+// point, including endpoint touches and collinear overlap.
+func (s Segment) Intersects(o Segment) bool {
+	d1 := orient(o.A, o.B, s.A)
+	d2 := orient(o.A, o.B, s.B)
+	d3 := orient(s.A, s.B, o.A)
+	d4 := orient(s.A, s.B, o.B)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	switch {
+	case d1 == 0 && onSegment(o.A, o.B, s.A):
+		return true
+	case d2 == 0 && onSegment(o.A, o.B, s.B):
+		return true
+	case d3 == 0 && onSegment(s.A, s.B, o.A):
+		return true
+	case d4 == 0 && onSegment(s.A, s.B, o.B):
+		return true
+	}
+	return false
+}
+
+// DistToSegment returns the minimum distance between the two segments:
+// zero when they intersect, otherwise the smallest of the four
+// endpoint-to-segment distances (for disjoint segments the minimum is
+// always attained at an endpoint).
+func (s Segment) DistToSegment(o Segment) float64 {
+	if s.Intersects(o) {
+		return 0
+	}
+	d := s.DistToPoint(o.A)
+	if v := s.DistToPoint(o.B); v < d {
+		d = v
+	}
+	if v := o.DistToPoint(s.A); v < d {
+		d = v
+	}
+	if v := o.DistToPoint(s.B); v < d {
+		d = v
+	}
+	return d
+}
+
+// DistToRect returns the minimum distance between the segment and a
+// rectangle: zero when they touch or the segment lies inside,
+// otherwise the smallest distance from the segment to the rectangle's
+// boundary edges. The natural refiner for joins between segment data
+// and area features indexed by their MBRs.
+func (s Segment) DistToRect(r Rect) float64 {
+	if r.ContainsPoint(s.A) || r.ContainsPoint(s.B) {
+		return 0
+	}
+	corners := [4]Point{
+		{X: r.MinX, Y: r.MinY},
+		{X: r.MaxX, Y: r.MinY},
+		{X: r.MaxX, Y: r.MaxY},
+		{X: r.MinX, Y: r.MaxY},
+	}
+	best := math.Inf(1)
+	for i := 0; i < 4; i++ {
+		edge := Segment{A: corners[i], B: corners[(i+1)%4]}
+		if d := s.DistToSegment(edge); d < best {
+			best = d
+			if best == 0 {
+				return 0
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,183 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func seg(ax, ay, bx, by float64) Segment {
+	return Segment{A: Point{X: ax, Y: ay}, B: Point{X: bx, Y: by}}
+}
+
+func TestSegmentBasics(t *testing.T) {
+	s := seg(0, 0, 3, 4)
+	if s.Length() != 5 {
+		t.Fatalf("Length = %g", s.Length())
+	}
+	if got := s.Bounds(); got != NewRect(0, 0, 3, 4) {
+		t.Fatalf("Bounds = %v", got)
+	}
+}
+
+func TestDistToPointKnownValues(t *testing.T) {
+	s := seg(0, 0, 10, 0)
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{5, 3}, 3},  // perpendicular drop inside
+		{Point{-4, 3}, 5}, // beyond A: endpoint distance
+		{Point{13, 4}, 5}, // beyond B
+		{Point{7, 0}, 0},  // on the segment
+		{Point{0, 0}, 0},  // endpoint
+	}
+	for _, c := range cases {
+		if got := s.DistToPoint(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("DistToPoint(%v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// Degenerate segment = point.
+	pt := seg(2, 2, 2, 2)
+	if got := pt.DistToPoint(Point{5, 6}); got != 5 {
+		t.Fatalf("point-segment distance = %g", got)
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	cases := []struct {
+		a, b Segment
+		want bool
+	}{
+		{seg(0, 0, 10, 10), seg(0, 10, 10, 0), true}, // X crossing
+		{seg(0, 0, 10, 0), seg(5, 0, 15, 0), true},   // collinear overlap
+		{seg(0, 0, 10, 0), seg(11, 0, 20, 0), false}, // collinear disjoint
+		{seg(0, 0, 10, 0), seg(10, 0, 10, 5), true},  // endpoint touch
+		{seg(0, 0, 10, 0), seg(0, 1, 10, 1), false},  // parallel apart
+		{seg(0, 0, 1, 1), seg(2, 2, 3, 1), false},    // disjoint
+		{seg(0, 0, 4, 4), seg(2, 2, 6, 0), true},     // T junction
+	}
+	for i, c := range cases {
+		if got := c.a.Intersects(c.b); got != c.want {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.want)
+		}
+		if got := c.b.Intersects(c.a); got != c.want {
+			t.Errorf("case %d (swapped): Intersects = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDistToSegmentKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b Segment
+		want float64
+	}{
+		{seg(0, 0, 10, 0), seg(0, 3, 10, 3), 3},   // parallel
+		{seg(0, 0, 10, 0), seg(12, 0, 20, 0), 2},  // collinear gap
+		{seg(0, 0, 10, 10), seg(0, 10, 10, 0), 0}, // crossing
+		{seg(0, 0, 1, 0), seg(4, 4, 5, 5), 5},     // corner to corner (3-4-5)
+		{seg(0, 0, 0, 10), seg(3, 5, 9, 5), 3},    // perpendicular approach
+	}
+	for i, c := range cases {
+		if got := c.a.DistToSegment(c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: dist = %g, want %g", i, got, c.want)
+		}
+		if got := c.b.DistToSegment(c.a); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d (swapped): dist = %g, want %g", i, got, c.want)
+		}
+	}
+}
+
+// Property: the exact segment distance always lies between the MBR
+// minimum and maximum distances — exactly the refiner contract.
+func TestSegmentDistanceWithinMBRBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 5000; i++ {
+		a := seg(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		b := seg(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		d := a.DistToSegment(b)
+		lo := a.Bounds().MinDist(b.Bounds())
+		hi := a.Bounds().MaxDist(b.Bounds())
+		if d < lo-1e-9 || d > hi+1e-9 {
+			t.Fatalf("segment distance %g outside MBR bounds [%g, %g] for %v / %v", d, lo, hi, a, b)
+		}
+	}
+}
+
+// Property: against dense sampling along both segments, the analytic
+// distance is never above the sampled minimum and within sampling
+// error below it.
+func TestSegmentDistanceAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	const steps = 200
+	for i := 0; i < 200; i++ {
+		a := seg(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50, rng.Float64()*50)
+		b := seg(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50, rng.Float64()*50)
+		want := a.DistToSegment(b)
+		best := math.Inf(1)
+		for s := 0; s <= steps; s++ {
+			t1 := float64(s) / steps
+			p := Point{a.A.X + t1*(a.B.X-a.A.X), a.A.Y + t1*(a.B.Y-a.A.Y)}
+			if d := b.DistToPoint(p); d < best {
+				best = d
+			}
+		}
+		if want > best+1e-9 {
+			t.Fatalf("analytic %g above sampled %g", want, best)
+		}
+		pitch := a.Length() / steps
+		if best > want+pitch+1e-9 {
+			t.Fatalf("sampled %g too far above analytic %g (pitch %g)", best, want, pitch)
+		}
+	}
+}
+
+func BenchmarkDistToSegment(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	segs := make([]Segment, 512)
+	for i := range segs {
+		segs[i] = seg(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += segs[i%512].DistToSegment(segs[(i+13)%512])
+	}
+	_ = sink
+}
+
+func TestDistToRect(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	cases := []struct {
+		s    Segment
+		want float64
+	}{
+		{seg(2, 2, 8, 8), 0},              // inside
+		{seg(-5, 5, 15, 5), 0},            // crossing through
+		{seg(12, 0, 12, 10), 2},           // parallel to right edge
+		{seg(13, 14, 20, 20), 5},          // corner 3-4-5
+		{seg(5, 10, 5, 20), 0},            // touching the top edge
+		{seg(-5, -5, -1, -1), math.Sqrt2}, // diagonal approach to corner
+	}
+	for i, c := range cases {
+		if got := c.s.DistToRect(r); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: DistToRect = %g, want %g", i, got, c.want)
+		}
+	}
+}
+
+// Property: DistToRect lies between the MBR-vs-rect min distance and
+// the segment's own MBR max distance.
+func TestDistToRectBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for i := 0; i < 3000; i++ {
+		s := seg(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		r := NewRect(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		d := s.DistToRect(r)
+		lo := s.Bounds().MinDist(r)
+		hi := s.Bounds().MaxDist(r)
+		if d < lo-1e-9 || d > hi+1e-9 {
+			t.Fatalf("DistToRect %g outside [%g, %g] for %v vs %v", d, lo, hi, s, r)
+		}
+	}
+}

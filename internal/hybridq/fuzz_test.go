@@ -1,0 +1,41 @@
+package hybridq
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPairRoundTrip checks the fixed-size pair codec over arbitrary
+// field values.
+func FuzzPairRoundTrip(f *testing.F) {
+	f.Add(1.5, true, false, true, uint64(3), uint64(9), 0.0, 1.0, 2.0, 3.0)
+	f.Add(math.Inf(1), false, false, false, uint64(0), uint64(0), -1.0, -2.0, 5.5, 9.75)
+	f.Fuzz(func(t *testing.T, dist float64, lobj, robj, refined bool,
+		l, r uint64, x1, y1, x2, y2 float64) {
+		p := Pair{
+			Dist: dist, LeftObj: lobj, RightObj: robj, Refined: refined,
+			Left: l, Right: r,
+		}
+		p.LeftRect.MinX, p.LeftRect.MinY, p.LeftRect.MaxX, p.LeftRect.MaxY = x1, y1, x2, y2
+		p.RightRect.MinX, p.RightRect.MinY, p.RightRect.MaxX, p.RightRect.MaxY = y2, x2, y1, x1
+		buf := make([]byte, RecordSize)
+		p.Encode(buf)
+		got := DecodePair(buf)
+		// NaN fields break == comparison; compare bit patterns.
+		if !pairBitsEqual(p, got) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", p, got)
+		}
+	})
+}
+
+func pairBitsEqual(a, b Pair) bool {
+	eq := func(x, y float64) bool {
+		return math.Float64bits(x) == math.Float64bits(y)
+	}
+	return eq(a.Dist, b.Dist) && a.LeftObj == b.LeftObj && a.RightObj == b.RightObj &&
+		a.Refined == b.Refined && a.Left == b.Left && a.Right == b.Right &&
+		eq(a.LeftRect.MinX, b.LeftRect.MinX) && eq(a.LeftRect.MinY, b.LeftRect.MinY) &&
+		eq(a.LeftRect.MaxX, b.LeftRect.MaxX) && eq(a.LeftRect.MaxY, b.LeftRect.MaxY) &&
+		eq(a.RightRect.MinX, b.RightRect.MinX) && eq(a.RightRect.MinY, b.RightRect.MinY) &&
+		eq(a.RightRect.MaxX, b.RightRect.MaxX) && eq(a.RightRect.MaxY, b.RightRect.MaxY)
+}

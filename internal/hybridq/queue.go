@@ -1,0 +1,374 @@
+package hybridq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distjoin/internal/metrics"
+	"distjoin/internal/pqueue"
+	"distjoin/internal/storage"
+)
+
+// Queue is the hybrid memory/disk main queue. It behaves as a strict
+// priority queue over Pairs (Pop always returns the global minimum by
+// Pair.Less) while bounding memory to the configured budget.
+//
+// Storage errors are latched: after the first error every operation
+// becomes a no-op and Err reports the cause. The join algorithms check
+// Err once at the end of a run.
+type Queue struct {
+	heap     *pqueue.Heap[Pair]
+	capacity int     // max heap elements (n of §4.4)
+	memBound float64 // exclusive upper bound of the in-memory range
+	rho      float64 // density factor for model boundaries, 0 disables
+	segs     []*segment
+	store    storage.Store
+	free     []storage.PageID
+	perPage  int
+	mc       *metrics.Collector
+	ioCost   metrics.IOCostModel
+	err      error
+}
+
+// segment is one on-disk unsorted pile covering the distance range
+// [lo, hi).
+type segment struct {
+	lo, hi   float64
+	pages    []storage.PageID
+	buf      []byte // partial trailing page
+	bufCount int
+	count    int
+}
+
+// Config parameterizes a Queue.
+type Config struct {
+	// MemBytes is the memory budget for the in-memory heap (§5's
+	// "size of in-memory portion of a main queue"). Minimum one pair.
+	MemBytes int
+	// Rho is the density factor from estimate.Model.Rho used to place
+	// model-based segment boundaries. Zero disables model boundaries:
+	// the queue then relies purely on overflow splits.
+	Rho float64
+	// Store holds spilled segments; nil allocates a private MemStore
+	// with the default page size.
+	Store storage.Store
+	// Metrics receives queue page I/O accounting (may be nil).
+	Metrics *metrics.Collector
+	// IOCost charges simulated time per spilled page; zero value
+	// charges nothing.
+	IOCost metrics.IOCostModel
+}
+
+// New returns an empty hybrid queue.
+func New(cfg Config) *Queue {
+	st := cfg.Store
+	if st == nil {
+		st = storage.NewMemStore(storage.DefaultPageSize)
+	}
+	capacity := cfg.MemBytes / RecordSize
+	if capacity < 1 {
+		capacity = 1
+	}
+	// §4.4: the boundary between the in-memory heap and the first
+	// disk segment is sqrt(n*rho). Distant pairs spill immediately
+	// instead of churning through the heap; an underestimated model is
+	// corrected by overflow splits, an overestimated one by swap-ins.
+	memBound := math.Inf(1)
+	if b := math.Sqrt(float64(capacity) * cfg.Rho); b > 0 {
+		memBound = b
+	}
+	return &Queue{
+		heap:     pqueue.NewHeap(func(a, b Pair) bool { return a.Less(b) }),
+		capacity: capacity,
+		memBound: memBound,
+		rho:      cfg.Rho,
+		store:    st,
+		perPage:  st.PageSize() / RecordSize,
+		mc:       cfg.Metrics,
+		ioCost:   cfg.IOCost,
+	}
+}
+
+// Capacity returns the heap capacity in pairs.
+func (q *Queue) Capacity() int { return q.capacity }
+
+// Len returns the total number of queued pairs (memory + disk).
+func (q *Queue) Len() int {
+	n := q.heap.Len()
+	for _, s := range q.segs {
+		n += s.count
+	}
+	return n
+}
+
+// Empty reports whether no pairs are queued.
+func (q *Queue) Empty() bool { return q.Len() == 0 }
+
+// MemLen returns the number of pairs currently in the in-memory heap.
+func (q *Queue) MemLen() int { return q.heap.Len() }
+
+// Segments returns the number of on-disk segments.
+func (q *Queue) Segments() int { return len(q.segs) }
+
+// Err returns the first storage error encountered, if any.
+func (q *Queue) Err() error { return q.err }
+
+// Push enqueues p.
+func (q *Queue) Push(p Pair) {
+	if q.err != nil {
+		return
+	}
+	if p.Dist < q.memBound {
+		q.heap.Push(p)
+		if q.heap.Len() > q.capacity {
+			q.splitHeap()
+		}
+		return
+	}
+	q.spill(p)
+}
+
+// Pop removes and returns the minimum pair. ok is false when the
+// queue is empty or a storage error is latched.
+func (q *Queue) Pop() (p Pair, ok bool) {
+	if q.err != nil {
+		return Pair{}, false
+	}
+	if q.heap.Empty() {
+		if !q.swapIn() {
+			return Pair{}, false
+		}
+	}
+	return q.heap.Pop(), true
+}
+
+// Peek returns the minimum pair without removing it.
+func (q *Queue) Peek() (p Pair, ok bool) {
+	if q.err != nil {
+		return Pair{}, false
+	}
+	if q.heap.Empty() {
+		if !q.swapIn() {
+			return Pair{}, false
+		}
+	}
+	return q.heap.Peek(), true
+}
+
+// splitHeap handles heap overflow: the longer-distance half of the
+// heap is moved to a new disk segment and the in-memory bound shrinks
+// to the split distance.
+func (q *Queue) splitHeap() {
+	items := append([]Pair(nil), q.heap.Items()...)
+	sort.Slice(items, func(i, j int) bool { return items[i].Less(items[j]) })
+	keep := len(items) / 2
+	if keep < 1 {
+		keep = 1
+	}
+	split := items[keep].Dist
+	// Keep strictly-below-split pairs in memory so that the routing
+	// invariant (heap holds only dist < memBound) is preserved; pairs
+	// equal to the split distance spill with the long half.
+	for keep > 0 && items[keep-1].Dist == split {
+		keep--
+	}
+	if keep == 0 {
+		// Every pair shares one distance; keep the first half anyway —
+		// equal keys cannot violate pop ordering.
+		keep = len(items) / 2
+	}
+
+	hi := q.memBound
+	q.memBound = split
+	seg := &segment{lo: split, hi: hi, buf: make([]byte, q.store.PageSize())}
+	for _, p := range items[keep:] {
+		q.appendToSegment(seg, p)
+	}
+	q.insertSegment(seg)
+
+	q.heap.Clear()
+	for _, p := range items[:keep] {
+		q.heap.Push(p)
+	}
+}
+
+// spill routes p to the disk segment covering its distance, creating a
+// model-boundary segment if none exists.
+func (q *Queue) spill(p Pair) {
+	seg := q.segmentFor(p.Dist)
+	q.appendToSegment(seg, p)
+}
+
+// segmentFor locates or creates the segment containing dist, which is
+// >= memBound.
+func (q *Queue) segmentFor(dist float64) *segment {
+	for _, s := range q.segs {
+		if dist >= s.lo && dist < s.hi {
+			return s
+		}
+	}
+	// Create a segment from the model boundaries sqrt(i*n*rho),
+	// clipped against existing segments and the memory bound.
+	lo, hi := q.modelRange(dist)
+	if lo < q.memBound {
+		lo = q.memBound
+	}
+	for _, s := range q.segs {
+		if s.hi <= dist && s.hi > lo {
+			lo = s.hi
+		}
+		if s.lo > dist && s.lo < hi {
+			hi = s.lo
+		}
+	}
+	seg := &segment{lo: lo, hi: hi, buf: make([]byte, q.store.PageSize())}
+	q.insertSegment(seg)
+	return seg
+}
+
+// maxModelSegments caps how many model-boundary segments may exist.
+// Each segment carries one page of write buffer, so unbounded segment
+// creation would silently defeat the memory budget; distances beyond
+// the last boundary share one open-ended segment.
+const maxModelSegments = 64
+
+// modelRange returns the §4.4 model boundaries surrounding dist:
+// [sqrt(i*n*rho), sqrt((i+1)*n*rho)) for the i containing dist. With
+// no usable model the range is unbounded; beyond the segment cap the
+// last range extends to infinity.
+func (q *Queue) modelRange(dist float64) (lo, hi float64) {
+	unit := float64(q.capacity) * q.rho
+	if unit <= 0 || math.IsInf(dist, 1) {
+		return 0, math.Inf(1)
+	}
+	i := math.Floor(dist * dist / unit)
+	if i >= maxModelSegments {
+		return math.Sqrt(maxModelSegments * unit), math.Inf(1)
+	}
+	lo = math.Sqrt(i * unit)
+	hi = math.Sqrt((i + 1) * unit)
+	// Guard against floating-point edge effects at boundaries.
+	if dist < lo {
+		lo = dist
+	}
+	if dist >= hi {
+		hi = math.Nextafter(dist, math.Inf(1))
+	}
+	return lo, hi
+}
+
+// insertSegment adds seg keeping q.segs sorted by lo.
+func (q *Queue) insertSegment(seg *segment) {
+	q.segs = append(q.segs, seg)
+	sort.Slice(q.segs, func(i, j int) bool { return q.segs[i].lo < q.segs[j].lo })
+}
+
+// appendToSegment encodes p into the segment's trailing page buffer,
+// flushing full pages to the store.
+func (q *Queue) appendToSegment(seg *segment, p Pair) {
+	if q.err != nil {
+		return
+	}
+	p.encode(seg.buf[seg.bufCount*RecordSize:])
+	seg.bufCount++
+	seg.count++
+	if seg.bufCount == q.perPage {
+		q.flushSegmentPage(seg)
+	}
+}
+
+// flushSegmentPage writes the segment's buffered records to a page.
+func (q *Queue) flushSegmentPage(seg *segment) {
+	id, err := q.allocPage()
+	if err != nil {
+		q.err = err
+		return
+	}
+	if err := q.store.WritePage(id, seg.buf); err != nil {
+		q.err = err
+		return
+	}
+	q.mc.QueueIO(0, 1, q.ioCost.SequentialPageCost())
+	seg.pages = append(seg.pages, id)
+	seg.bufCount = 0
+}
+
+func (q *Queue) allocPage() (storage.PageID, error) {
+	if n := len(q.free); n > 0 {
+		id := q.free[n-1]
+		q.free = q.free[:n-1]
+		return id, nil
+	}
+	return q.store.Alloc()
+}
+
+// swapIn loads the lowest-range segment into the heap, splitting it if
+// it exceeds the memory capacity. Returns false when no segment
+// exists or an error latched.
+func (q *Queue) swapIn() bool {
+	if len(q.segs) == 0 || q.err != nil {
+		return false
+	}
+	seg := q.segs[0]
+	q.segs = q.segs[1:]
+
+	items := make([]Pair, 0, seg.count)
+	page := make([]byte, q.store.PageSize())
+	for _, id := range seg.pages {
+		if err := q.store.ReadPage(id, page); err != nil {
+			q.err = err
+			return false
+		}
+		q.mc.QueueIO(1, 0, q.ioCost.SequentialPageCost())
+		for i := 0; i < q.perPage; i++ {
+			items = append(items, decodePair(page[i*RecordSize:]))
+		}
+		q.free = append(q.free, id)
+	}
+	for i := 0; i < seg.bufCount; i++ {
+		items = append(items, decodePair(seg.buf[i*RecordSize:]))
+	}
+
+	if len(items) > q.capacity {
+		sort.Slice(items, func(i, j int) bool { return items[i].Less(items[j]) })
+		keep := q.capacity
+		split := items[keep].Dist
+		for keep > 0 && items[keep-1].Dist == split {
+			keep--
+		}
+		if keep == 0 {
+			keep = q.capacity
+		}
+		rest := &segment{lo: split, hi: seg.hi, buf: make([]byte, q.store.PageSize())}
+		for _, p := range items[keep:] {
+			q.appendToSegment(rest, p)
+		}
+		q.insertSegment(rest)
+		items = items[:keep]
+		q.memBound = split
+	} else {
+		q.memBound = seg.hi
+	}
+
+	for _, p := range items {
+		q.heap.Push(p)
+	}
+	return len(items) > 0 || q.swapIn()
+}
+
+// Drain removes all pairs (used between experiment stages).
+func (q *Queue) Drain() {
+	q.heap.Clear()
+	for _, s := range q.segs {
+		q.free = append(q.free, s.pages...)
+	}
+	q.segs = nil
+	q.memBound = math.Inf(1)
+}
+
+// String summarizes the queue state for diagnostics.
+func (q *Queue) String() string {
+	return fmt.Sprintf("hybridq{mem=%d/%d bound=%g segs=%d total=%d}",
+		q.heap.Len(), q.capacity, q.memBound, len(q.segs), q.Len())
+}

@@ -1,0 +1,248 @@
+package join
+
+import (
+	"distjoin/internal/hybridq"
+	"distjoin/internal/rtree"
+)
+
+// AMIDJIterator produces join results incrementally with AM-IDJ
+// (paper §4.2). Each stage prunes with a fixed estimated cutoff
+// eDmax_s; when the queue drains, a compensation stage begins with a
+// grown cutoff eDmax_{s+1}, re-expanding the bookkept node pairs and
+// recovering exactly the pairs in the band (eDmax_s, eDmax_{s+1}].
+// This continues until the caller stops asking or every pair has been
+// produced.
+type AMIDJIterator struct {
+	c         *execContext
+	compMap   map[pairKey]*compInfo
+	compOrder []pairKey
+	eDmax     float64
+	stageK    int
+	batchK    int
+	produced  int
+	lastDist  float64
+	maxd      float64
+	exhausted bool
+	err       error
+}
+
+// AMIDJ starts the adaptive multi-stage incremental distance join;
+// results are pulled with Next.
+func AMIDJ(left, right *rtree.Tree, opts Options) (*AMIDJIterator, error) {
+	c, err := newContext(left, right, opts)
+	if err != nil {
+		return nil, err
+	}
+	batch := opts.BatchK
+	if batch <= 0 {
+		batch = DefaultBatchK
+	}
+	it := &AMIDJIterator{
+		c:       c,
+		compMap: make(map[pairKey]*compInfo),
+		batchK:  batch,
+		stageK:  batch,
+		maxd:    c.exhaustiveDist(),
+	}
+	if c.left.Size() == 0 || c.right.Size() == 0 {
+		it.exhausted = true
+		return it, nil
+	}
+	switch {
+	case opts.EDmax > 0:
+		it.eDmax = opts.EDmax
+	case opts.EDmaxForK != nil:
+		it.eDmax = opts.EDmaxForK(batch, 0, 0)
+	default:
+		it.eDmax = c.est.Initial(batch)
+	}
+	if it.eDmax > it.maxd {
+		it.eDmax = it.maxd
+	}
+	c.push(c.rootPair())
+	return it, nil
+}
+
+// Produced returns the number of results emitted so far.
+func (it *AMIDJIterator) Produced() int { return it.produced }
+
+// EDmax returns the current stage cutoff (exposed for experiments).
+func (it *AMIDJIterator) EDmax() float64 { return it.eDmax }
+
+// Err returns the first error encountered.
+func (it *AMIDJIterator) Err() error { return it.err }
+
+// Next returns the next nearest pair. ok is false when the join is
+// exhausted or an error occurred (check Err).
+func (it *AMIDJIterator) Next() (Result, bool) {
+	if it.exhausted || it.err != nil {
+		return Result{}, false
+	}
+	for {
+		if err := it.c.cancelled(); err != nil {
+			it.err = err
+			return Result{}, false
+		}
+		p, ok := it.c.queue.Pop()
+		if !ok {
+			if err := it.c.queue.Err(); err != nil {
+				it.err = err
+				return Result{}, false
+			}
+			if !it.advanceStage() {
+				it.exhausted = true
+				return Result{}, false
+			}
+			continue
+		}
+		// Pairs beyond the current stage cutoff — refined object pairs
+		// whose exact distance exceeds it, re-seeded compensation
+		// entries, or an initially distant root pair — wait for the
+		// next stage: closer pairs may still be pending compensation.
+		// (Once the cutoff has reached the exhaustive bound nothing is
+		// pruned anymore, so remaining pairs flow in queue order; this
+		// also tolerates refiners that exceed the MBR maximum distance
+		// in violation of their contract.)
+		if p.Dist > it.eDmax && it.eDmax < it.maxd {
+			if _, tracked := it.compMap[keyOf(p)]; !tracked {
+				it.c.push(p) // advanceStage re-seeds tracked pairs itself
+			}
+			if !it.advanceStage() {
+				it.exhausted = true
+				return Result{}, false
+			}
+			continue
+		}
+		if p.IsResult() {
+			if it.c.needsRefinement(p) {
+				it.c.push(it.c.refine(p))
+				continue
+			}
+			it.produced++
+			it.lastDist = p.Dist
+			it.c.mc.AddResult(1)
+			return pairResult(p), true
+		}
+		if err := it.expand(p); err != nil {
+			it.err = err
+			return Result{}, false
+		}
+	}
+}
+
+// expand processes one node pair under the current stage cutoff.
+// Fresh pairs get a full sweep with bookkeeping; pairs already
+// expanded in an earlier stage get a band re-examination plus the
+// unexamined suffix.
+func (it *AMIDJIterator) expand(p hybridq.Pair) error {
+	c := it.c
+	cur := it.eDmax
+	key := keyOf(p)
+	ci := it.compMap[key]
+	if ci == nil {
+		run, err := c.expansion(p, cur)
+		if err != nil {
+			return err
+		}
+		run.axisCutoff = func() float64 { return cur }
+		run.record = true
+		run.emit = func(le, re rtree.NodeEntry, d float64) {
+			if d > cur {
+				return
+			}
+			c.push(run.childPair(le, re, d))
+		}
+		run.run()
+		// Once the cutoff covers the pair's own diameter, every child
+		// pair has been pushed; no compensation bookkeeping is needed.
+		if cur < p.LeftRect.MaxDist(p.RightRect) {
+			it.compMap[key] = &compInfo{pair: p, plan: run.plan, ranges: run.out, examCutoff: cur}
+			it.compOrder = append(it.compOrder, key)
+			c.mc.AddCompQueueInsert(1)
+		}
+		return nil
+	}
+
+	// Re-expansion: recover the band (prev, cur] among previously
+	// examined pairs, and everything <= cur in the unexamined suffix.
+	prev := ci.examCutoff
+	run, err := c.expansionWithPlan(p, ci.plan)
+	if err != nil {
+		return err
+	}
+	run.prev = &ci.ranges
+	run.record = true
+	run.axisCutoff = func() float64 { return cur }
+	run.reexamine = func(le, re rtree.NodeEntry, d float64) {
+		if d > prev && d <= cur {
+			c.push(run.childPair(le, re, d))
+		}
+	}
+	run.emit = func(le, re rtree.NodeEntry, d float64) {
+		if d <= cur {
+			c.push(run.childPair(le, re, d))
+		}
+	}
+	run.run()
+	if cur >= p.LeftRect.MaxDist(p.RightRect) {
+		// Fully covered: retire the entry so later stages stop
+		// re-seeding it (compOrder is compacted at the next advance).
+		delete(it.compMap, key)
+		return nil
+	}
+	ci.ranges = run.out
+	ci.examCutoff = cur
+	return nil
+}
+
+// advanceStage grows the cutoff and re-seeds the queue with the
+// compensation entries. It returns false when the previous stage
+// already covered the entire distance range (join exhausted).
+func (it *AMIDJIterator) advanceStage() bool {
+	if it.eDmax >= it.maxd {
+		return false
+	}
+	it.stageK = it.produced + it.batchK
+	var next float64
+	switch {
+	case it.c.opts.EDmaxForK != nil:
+		next = it.c.opts.EDmaxForK(it.stageK, it.produced, it.lastDist)
+	case it.produced > 0 && it.lastDist > 0:
+		next = it.c.est.Correct(it.c.opts.Correction, it.stageK, it.produced, it.lastDist)
+	default:
+		next = it.c.est.Initial(it.stageK)
+	}
+	// Guarantee strict progress toward the exhaustive bound.
+	if next <= it.eDmax {
+		if it.eDmax == 0 {
+			next = it.maxd * 1e-9
+		} else {
+			next = it.eDmax * 2
+		}
+	}
+	// Clamp, and jump straight to the bound when the growth step
+	// underflowed (fully degenerate data with a subnormal bound).
+	if next > it.maxd || next <= it.eDmax {
+		next = it.maxd
+	}
+	it.eDmax = next
+	it.c.mc.AddCompensationStage()
+
+	// Re-seed: push every live compensation entry; entries already
+	// examined at the exhaustive bound can never yield more pairs.
+	liveOrder := it.compOrder[:0]
+	for _, key := range it.compOrder {
+		ci := it.compMap[key]
+		if ci == nil {
+			continue
+		}
+		if ci.examCutoff >= ci.pair.LeftRect.MaxDist(ci.pair.RightRect) {
+			delete(it.compMap, key)
+			continue
+		}
+		liveOrder = append(liveOrder, key)
+		it.c.push(ci.pair)
+	}
+	it.compOrder = liveOrder
+	return true
+}

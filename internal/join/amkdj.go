@@ -1,0 +1,204 @@
+package join
+
+import (
+	"distjoin/internal/hybridq"
+	"distjoin/internal/rtree"
+	"distjoin/internal/sweep"
+)
+
+// pairKey identifies a node pair for compensation bookkeeping.
+type pairKey [2]uint64
+
+func keyOf(p hybridq.Pair) pairKey { return pairKey{p.Left, p.Right} }
+
+// compInfo is one compensation-queue entry: the expanded pair, the
+// sweep plan used (so the compensation stage reproduces the exact
+// stage-one order), the per-anchor examined ranges, and — for AM-IDJ —
+// the real-distance cutoff those ranges were examined under.
+type compInfo struct {
+	pair       hybridq.Pair
+	plan       sweep.Plan
+	ranges     sweepRanges
+	examCutoff float64
+}
+
+// AMKDJ runs the adaptive multi-stage k-distance join of paper §4.1
+// (Algorithms 2 and 3): an aggressive pruning stage cut off at the
+// estimated eDmax, followed — only if needed — by a compensation stage
+// that re-expands the bookkept pairs, skipping the child pairs already
+// examined.
+func AMKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
+	c, err := newContext(left, right, opts)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 || c.left.Size() == 0 || c.right.Size() == 0 {
+		return nil, nil
+	}
+	c.mc.Start()
+	defer c.mc.Finish()
+
+	ct := newCutoffTracker(c, k, c.dqPolicy)
+	eDmax := opts.EDmax
+	if eDmax <= 0 {
+		eDmax = c.est.Initial(k) // Eq. 3 (or the configured estimator)
+	}
+
+	results := make([]Result, 0, k)
+	var compList []*compInfo
+	compMap := make(map[pairKey]*compInfo)
+
+	// Stage one: aggressive pruning (Algorithm 2).
+	if c.push(c.rootPair()) {
+		ct.OnPush(c.rootPair())
+	}
+	for len(results) < k {
+		if err := c.cancelled(); err != nil {
+			return nil, err
+		}
+		p, ok := c.queue.Pop()
+		if !ok {
+			break
+		}
+		// Line 8: an overestimated eDmax is detected once qDmax drops
+		// to it; from then on eDmax tracks qDmax and AM-KDJ behaves
+		// exactly like B-KDJ.
+		if q := ct.Cutoff(); q <= eDmax {
+			eDmax = q
+		}
+		// Stage-one termination (condition 3): once the dequeued pair —
+		// of ANY kind — is farther than eDmax, the aggressive stage can
+		// produce nothing more that is certainly in order: pairs pruned
+		// earlier all lie beyond eDmax too, but may lie closer than p,
+		// so even an <object,object> p may not be emitted yet. The pair
+		// is reinserted for the compensation stage.
+		if p.Dist > eDmax {
+			c.push(p)
+			break
+		}
+		if p.IsResult() {
+			if c.needsRefinement(p) {
+				ct.OnRemove(p)
+				rp := c.refine(p)
+				if c.push(rp) {
+					ct.OnPush(rp)
+				}
+				continue
+			}
+			results = append(results, pairResult(p))
+			c.mc.AddResult(1)
+			continue
+		}
+		ct.OnRemove(p)
+		ci, err := c.amAggressiveSweep(p, eDmax, ct)
+		if err != nil {
+			return nil, err
+		}
+		compList = append(compList, ci)
+		compMap[keyOf(p)] = ci
+		c.mc.AddCompQueueInsert(1)
+	}
+
+	// Stage two: compensation (Algorithm 3), needed only when the
+	// aggressive stage fell short (line 12).
+	if len(results) < k && c.queue.Err() == nil {
+		c.mc.AddCompensationStage()
+		// Re-seed the main queue with the bookkept pairs. Their bounds
+		// are NOT re-registered with the cutoff tracker: a re-seeded
+		// pair stands only for its unexamined remainder, which may be
+		// empty, so it must not act as a qDmax witness (its stage-one
+		// children already carry their own bounds). Omitting a bound
+		// can only leave the cutoff larger, which is always safe.
+		for _, ci := range compList {
+			c.push(ci.pair)
+		}
+		for len(results) < k {
+			if err := c.cancelled(); err != nil {
+				return nil, err
+			}
+			p, ok := c.queue.Pop()
+			if !ok {
+				break
+			}
+			if p.IsResult() {
+				if c.needsRefinement(p) {
+					ct.OnRemove(p)
+					rp := c.refine(p)
+					if c.push(rp) {
+						ct.OnPush(rp)
+					}
+					continue
+				}
+				results = append(results, pairResult(p))
+				c.mc.AddResult(1)
+				continue
+			}
+			if ci := compMap[keyOf(p)]; ci != nil {
+				// No OnRemove: this pair's bound was not re-registered.
+				delete(compMap, keyOf(p))
+				if err := c.amCompensateSweep(p, ci, ct); err != nil {
+					return nil, err
+				}
+			} else {
+				ct.OnRemove(p)
+				if err := c.bkdjPlaneSweep(p, ct); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := c.queue.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// amAggressiveSweep is AggressivePlaneSweep of Algorithm 2: axis
+// pruning against eDmax (line 22), real-distance filtering against
+// qDmax (as in B-KDJ), with per-anchor bookkeeping of the examined
+// ranges (lines 19/21).
+func (c *execContext) amAggressiveSweep(p hybridq.Pair, eDmax float64, ct *cutoffTracker) (*compInfo, error) {
+	run, err := c.expansion(p, eDmax)
+	if err != nil {
+		return nil, err
+	}
+	run.axisCutoff = func() float64 { return eDmax }
+	run.record = true
+	run.emit = func(le, re rtree.NodeEntry, d float64) {
+		if d > ct.Cutoff() {
+			return
+		}
+		np := run.childPair(le, re, d)
+		if c.push(np) {
+			ct.OnPush(np)
+		}
+	}
+	run.run()
+	return &compInfo{pair: p, plan: run.plan, ranges: run.out, examCutoff: eDmax}, nil
+}
+
+// amCompensateSweep is CompensatePlaneSweep of Algorithm 3: replay the
+// stage-one sweep order and process only the child pairs the first
+// stage never examined. The prefix skip is safe because the stage-one
+// real-distance cutoff (qDmax) only shrinks: anything examined and
+// rejected then would be rejected now, and anything accepted is
+// already in the main queue.
+func (c *execContext) amCompensateSweep(p hybridq.Pair, ci *compInfo, ct *cutoffTracker) error {
+	run, err := c.expansionWithPlan(p, ci.plan)
+	if err != nil {
+		return err
+	}
+	run.prev = &ci.ranges
+	run.axisCutoff = ct.Cutoff
+	run.emit = func(le, re rtree.NodeEntry, d float64) {
+		if d > ct.Cutoff() {
+			return
+		}
+		np := run.childPair(le, re, d)
+		if c.push(np) {
+			ct.OnPush(np)
+		}
+	}
+	run.run()
+	return nil
+}

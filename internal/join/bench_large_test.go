@@ -1,0 +1,25 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"distjoin/internal/datagen"
+	"distjoin/internal/geom"
+)
+
+// BenchmarkBKDJLarge exercises the full B-KDJ path on a 50k x 50k
+// uniform workload (k=5000), the package's allocation/CPU canary.
+func BenchmarkBKDJLarge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := geom.NewRect(0, 0, 100000, 100000)
+	l := datagen.Uniform(rng.Int63(), 50000, w, 50)
+	r := datagen.Uniform(rng.Int63(), 50000, w, 50)
+	left, right := buildTree(b, l, 102), buildTree(b, r, 102)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BKDJ(left, right, 5000, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package join
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"distjoin/internal/datagen"
+	"distjoin/internal/geom"
+)
+
+// Every algorithm honors context cancellation: a pre-canceled context
+// aborts the join with context.Canceled instead of running it.
+func TestContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(700))
+	w := geom.NewRect(0, 0, 1000, 1000)
+	l := datagen.Uniform(rng.Int63(), 600, w, 10)
+	r := datagen.Uniform(rng.Int63(), 600, w, 10)
+	left, right := buildTree(t, l, 8), buildTree(t, r, 8)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := Options{Context: ctx}
+	// Large k so every algorithm must loop well past the poll interval.
+	k := 5000
+
+	for name, run := range map[string]func() error{
+		"HS-KDJ": func() error { _, err := HSKDJ(left, right, k, opts); return err },
+		"B-KDJ":  func() error { _, err := BKDJ(left, right, k, opts); return err },
+		"AM-KDJ": func() error { _, err := AMKDJ(left, right, k, opts); return err },
+		"SJ-SORT": func() error {
+			_, err := SJSort(left, right, k, 1e9, opts)
+			return err
+		},
+		"WithinJoin": func() error {
+			return WithinJoin(left, right, 1e9, opts, func(Result) bool { return true })
+		},
+		"HS-IDJ": func() error {
+			it, err := HSIDJ(left, right, opts)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < k; i++ {
+				if _, ok := it.Next(); !ok {
+					return it.Err()
+				}
+			}
+			return nil
+		},
+		"AM-IDJ": func() error {
+			it, err := AMIDJ(left, right, opts)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < k; i++ {
+				if _, ok := it.Next(); !ok {
+					return it.Err()
+				}
+			}
+			return nil
+		},
+	} {
+		if err := run(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: got %v, want context.Canceled", name, err)
+		}
+	}
+
+	// A live context does not interfere.
+	live := Options{Context: context.Background()}
+	got, err := BKDJ(left, right, 50, live)
+	if err != nil || len(got) != 50 {
+		t.Fatalf("live context: %d results, %v", len(got), err)
+	}
+}

@@ -1,0 +1,180 @@
+package join
+
+import (
+	"distjoin/internal/hybridq"
+	"distjoin/internal/rtree"
+)
+
+// HS-KDJ and HS-IDJ: Hjaltason & Samet's incremental distance join
+// (SIGMOD '98), the baseline of the paper's §5. Node expansion is
+// uni-directional: when a pair <r, s> is dequeued, only one side is
+// expanded and each of its children is paired with the *other side
+// intact*, so no plane sweeping applies and every child pairing costs
+// a real distance computation. The k-bounded variant prunes with a
+// distance queue that, following [13], receives the maximum distance
+// of every generated pair (not just object pairs).
+
+// HSKDJ runs the baseline k-distance join and returns the k nearest
+// pairs in nondecreasing distance order.
+func HSKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
+	c, err := newContext(left, right, opts)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 || c.left.Size() == 0 || c.right.Size() == 0 {
+		return nil, nil
+	}
+	c.mc.Start()
+	defer c.mc.Finish()
+
+	// HS-KDJ prunes with the all-pairs distance queue of [13]: every
+	// enqueued pair contributes an upper bound, retired on expansion.
+	ct := newCutoffTracker(c, k, AllPairs)
+	results := make([]Result, 0, k)
+	if c.push(c.rootPair()) {
+		ct.OnPush(c.rootPair())
+	}
+	for len(results) < k {
+		if err := c.cancelled(); err != nil {
+			return nil, err
+		}
+		p, ok := c.queue.Pop()
+		if !ok {
+			break
+		}
+		if p.IsResult() {
+			if c.needsRefinement(p) {
+				ct.OnRemove(p)
+				rp := c.refine(p)
+				if c.push(rp) {
+					ct.OnPush(rp)
+				}
+				continue
+			}
+			results = append(results, pairResult(p))
+			c.mc.AddResult(1)
+			continue
+		}
+		ct.OnRemove(p)
+		if err := c.hsExpand(p, ct); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.queue.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// hsExpand performs one uni-directional expansion: the non-object side
+// (or, with two nodes, the higher-level side, ties to the left) is
+// expanded and each child is paired with the other side.
+func (c *execContext) hsExpand(p hybridq.Pair, ct *cutoffTracker) error {
+	expandLeft := c.hsPickSide(p)
+	tree, ref, isObj, rect := c.left, p.Left, p.LeftObj, p.LeftRect
+	if !expandLeft {
+		tree, ref, isObj, rect = c.right, p.Right, p.RightObj, p.RightRect
+	}
+	entries, childIsObj, err := c.sideEntries(tree, ref, isObj, rect)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		var np hybridq.Pair
+		if expandLeft {
+			np = hybridq.Pair{
+				LeftObj: childIsObj, RightObj: p.RightObj,
+				Left: e.Ref, Right: p.Right,
+				LeftRect: e.Rect, RightRect: p.RightRect,
+			}
+		} else {
+			np = hybridq.Pair{
+				LeftObj: p.LeftObj, RightObj: childIsObj,
+				Left: p.Left, Right: e.Ref,
+				LeftRect: p.LeftRect, RightRect: e.Rect,
+			}
+		}
+		np.Dist = c.minDist(np.LeftRect, np.RightRect)
+		if ct != nil && np.Dist > ct.Cutoff() {
+			continue
+		}
+		if c.push(np) && ct != nil {
+			ct.OnPush(np)
+		}
+	}
+	return nil
+}
+
+// hsPickSide chooses the side to expand: an object side is never
+// expanded; between two nodes the higher-level one is expanded so the
+// traversal stays balanced (ties expand the left).
+func (c *execContext) hsPickSide(p hybridq.Pair) (expandLeft bool) {
+	switch {
+	case p.LeftObj:
+		return false
+	case p.RightObj:
+		return true
+	default:
+		return refLevel(p.Left) >= refLevel(p.Right)
+	}
+}
+
+// HSIDJIterator produces join results incrementally with HS-IDJ.
+type HSIDJIterator struct {
+	c    *execContext
+	err  error
+	done bool
+}
+
+// HSIDJ starts the baseline incremental distance join; results are
+// pulled with Next.
+func HSIDJ(left, right *rtree.Tree, opts Options) (*HSIDJIterator, error) {
+	c, err := newContext(left, right, opts)
+	if err != nil {
+		return nil, err
+	}
+	it := &HSIDJIterator{c: c}
+	if c.left.Size() == 0 || c.right.Size() == 0 {
+		it.done = true
+		return it, nil
+	}
+	c.push(c.rootPair())
+	return it, nil
+}
+
+// Next returns the next nearest pair. ok is false when the join is
+// exhausted or an error occurred (check Err).
+func (it *HSIDJIterator) Next() (Result, bool) {
+	if it.done || it.err != nil {
+		return Result{}, false
+	}
+	for {
+		if err := it.c.cancelled(); err != nil {
+			it.err = err
+			it.done = true
+			return Result{}, false
+		}
+		p, ok := it.c.queue.Pop()
+		if !ok {
+			it.err = it.c.queue.Err()
+			it.done = true
+			return Result{}, false
+		}
+		if p.IsResult() {
+			if it.c.needsRefinement(p) {
+				it.c.push(it.c.refine(p))
+				continue
+			}
+			it.c.mc.AddResult(1)
+			return pairResult(p), true
+		}
+		if err := it.c.hsExpand(p, nil); err != nil {
+			it.err = err
+			it.done = true
+			return Result{}, false
+		}
+	}
+}
+
+// Err returns the first error encountered.
+func (it *HSIDJIterator) Err() error { return it.err }

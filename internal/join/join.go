@@ -1,0 +1,385 @@
+// Package join implements the distance join algorithms of the paper —
+// the paper's contributions B-KDJ (§3), AM-KDJ (§4.1), and AM-IDJ
+// (§4.2) — together with the evaluation baselines HS-KDJ / HS-IDJ
+// (Hjaltason & Samet's uni-directional incremental distance join,
+// SIGMOD '98) and SJ-SORT (R-tree spatial join with a within predicate
+// followed by an external sort).
+//
+// All algorithms operate over two packed rtree.Tree indexes, share the
+// hybrid memory/disk main queue of §4.4, and account their work
+// (distance computations, queue insertions, node accesses) through a
+// metrics.Collector, which is how the experiments of §5 are
+// reproduced.
+package join
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"distjoin/internal/estimate"
+	"distjoin/internal/geom"
+	"distjoin/internal/hybridq"
+	"distjoin/internal/metrics"
+	"distjoin/internal/rtree"
+	"distjoin/internal/storage"
+)
+
+// Result is one produced pair: the two object identifiers, their MBRs,
+// and the distance between them. Results are produced in nondecreasing
+// distance order.
+type Result struct {
+	LeftObj   int64
+	RightObj  int64
+	LeftRect  geom.Rect
+	RightRect geom.Rect
+	Dist      float64
+}
+
+// DistanceQueuePolicy selects which pairs feed the distance queue
+// (paper §3.1 footnote 1).
+type DistanceQueuePolicy int
+
+const (
+	// ObjectPairsOnly inserts only <object,object> real distances —
+	// the paper's choice.
+	ObjectPairsOnly DistanceQueuePolicy = iota
+	// AllPairs additionally inserts the *maximum* distance of every
+	// non-object pair, as Hjaltason & Samet's algorithms do. Exposed
+	// for the A2 ablation and used by the HS baselines.
+	AllPairs
+)
+
+// SweepPolicy controls the §3.2/§3.3 plane-sweep optimizations,
+// exposed separately for the Figure 11 experiment and the A1 ablation.
+type SweepPolicy struct {
+	// SelectAxis enables sweeping-axis selection by sweeping index;
+	// disabled, the x axis is always used.
+	SelectAxis bool
+	// SelectDirection enables direction selection from the projected
+	// intervals; disabled, the sweep is always forward.
+	SelectDirection bool
+}
+
+// OptimizedSweep is the default fully-enabled sweep policy.
+var OptimizedSweep = SweepPolicy{SelectAxis: true, SelectDirection: true}
+
+// FixedSweep disables both optimizations (fixed x axis, forward), the
+// configuration Figure 11 compares against.
+var FixedSweep = SweepPolicy{}
+
+// Options configures a join execution. The zero value is usable: it
+// means the paper's defaults (512 KB queue memory, optimized sweep,
+// object-pairs-only distance queue, Eq. 3 initial estimate, aggressive
+// correction).
+type Options struct {
+	// QueueMemBytes bounds the in-memory portion of the main queue
+	// (default 512 KB, the paper's setting).
+	QueueMemBytes int
+	// QueueStore backs spilled queue segments (default: private
+	// MemStore).
+	QueueStore storage.Store
+	// Metrics receives all counters; may be nil.
+	Metrics *metrics.Collector
+	// IOCost charges simulated time for page traffic (default: the
+	// paper's disk, metrics.DefaultIOCostModel).
+	IOCost *metrics.IOCostModel
+	// Sweep selects the plane-sweep optimization policy (default
+	// OptimizedSweep).
+	Sweep *SweepPolicy
+	// DistanceQueue selects the distance queue feed policy.
+	DistanceQueue DistanceQueuePolicy
+	// EDmax overrides the initial estimated maximum distance for the
+	// adaptive multi-stage algorithms. Zero means "estimate with
+	// Eq. 3". Ignored by HS-KDJ, B-KDJ, and SJ-SORT.
+	EDmax float64
+	// Correction selects how Eq. 4/5 corrections combine (AM-IDJ).
+	Correction estimate.Mode
+	// BatchK is AM-IDJ's stage growth: each stage targets BatchK more
+	// results than already produced (default 1024).
+	BatchK int
+	// EDmaxForK, when non-nil, supplies the per-stage cutoff for
+	// AM-IDJ given the stage target k, results produced so far, and
+	// the last produced distance. Used by the Figure 15 "real Dmax"
+	// variant. When nil the estimate model is used.
+	EDmaxForK func(k, produced int, lastDist float64) float64
+	// DisableQueueModel turns off the §4.4 model-based segment
+	// boundaries of the hybrid main queue, leaving only overflow
+	// splits (the A4 ablation).
+	DisableQueueModel bool
+	// Context, when non-nil, cancels a running join: the algorithms
+	// poll it between queue operations and return ctx.Err(). Nil means
+	// no cancellation.
+	Context context.Context
+	// SelfJoin adapts the join for joining a data set with itself:
+	// identity pairs (same object on both sides) are suppressed and
+	// each unordered pair is produced exactly once (left ID < right
+	// ID). The k closest pairs of one set are then simply the join of
+	// its tree with itself.
+	SelfJoin bool
+	// Estimator overrides the eDmax estimator used by the adaptive
+	// multi-stage algorithms. Nil selects the paper's uniform model
+	// (Eq. 3-5); NewHistogramEstimator builds the non-uniform
+	// alternative of §6's future work.
+	Estimator estimate.Estimator
+	// Refiner, when non-nil, supplies the exact distance between two
+	// objects given their IDs and MBRs. The joins then rank results by
+	// exact distances using incremental refinement: MBR distances act
+	// as lower bounds, an <object,object> pair is refined when it
+	// first reaches the queue head, and is reinserted under its exact
+	// distance. This is the correct generalization of the filter/
+	// refinement split that §1 of the paper shows cannot be applied
+	// naively to distance joins. The exact distance must never be
+	// smaller than the MBR distance (true for any geometry contained
+	// in its MBR); smaller return values are clamped.
+	Refiner func(leftObj, rightObj int64, leftRect, rightRect geom.Rect) float64
+}
+
+// DefaultQueueMemBytes is the paper's main-queue memory setting.
+const DefaultQueueMemBytes = 512 * 1024
+
+// DefaultBatchK is AM-IDJ's default stage size.
+const DefaultBatchK = 1024
+
+// context carries the resolved execution state shared by the
+// algorithms.
+type execContext struct {
+	left, right *rtree.Tree
+	mc          *metrics.Collector
+	ioCost      metrics.IOCostModel
+	sweepPolicy SweepPolicy
+	dqPolicy    DistanceQueuePolicy
+	model       estimate.Model
+	est         estimate.Estimator
+	queue       *hybridq.Queue
+	refiner     func(leftObj, rightObj int64, leftRect, rightRect geom.Rect) float64
+	opts        Options
+	cancelTick  int
+	scratch     rtree.Node // reused decode buffer for sideEntries
+}
+
+// newContext validates inputs and builds the shared state.
+func newContext(left, right *rtree.Tree, opts Options) (*execContext, error) {
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("join: both trees are required")
+	}
+	mem := opts.QueueMemBytes
+	if mem <= 0 {
+		mem = DefaultQueueMemBytes
+	}
+	cost := metrics.DefaultIOCostModel()
+	if opts.IOCost != nil {
+		cost = *opts.IOCost
+	}
+	sp := OptimizedSweep
+	if opts.Sweep != nil {
+		sp = *opts.Sweep
+	}
+	model, err := estimate.NewModel(left.Bounds(), max(left.Size(), 1),
+		right.Bounds(), max(right.Size(), 1))
+	if err != nil {
+		return nil, err
+	}
+	ctx := &execContext{
+		left:        left,
+		right:       right,
+		mc:          opts.Metrics,
+		ioCost:      cost,
+		sweepPolicy: sp,
+		dqPolicy:    opts.DistanceQueue,
+		model:       model,
+		est:         opts.Estimator,
+		refiner:     opts.Refiner,
+		opts:        opts,
+	}
+	if ctx.est == nil {
+		ctx.est = model
+	}
+	rho := model.Rho()
+	if opts.DisableQueueModel {
+		rho = 0
+	}
+	ctx.queue = hybridq.New(hybridq.Config{
+		MemBytes: mem,
+		Rho:      rho,
+		Store:    opts.QueueStore,
+		Metrics:  opts.Metrics,
+		IOCost:   cost,
+	})
+	return ctx, nil
+}
+
+// Node/object references. Node refs embed the node's level in the high
+// bits of the page ID so the algorithms can decide expansion order
+// without extra node reads; object refs carry the object ID directly
+// (which must therefore fit in 63 bits).
+const refLevelShift = 48
+
+func nodeRef(page storage.PageID, level int) uint64 {
+	return uint64(level)<<refLevelShift | uint64(page)
+}
+
+func refPage(ref uint64) storage.PageID {
+	return storage.PageID(ref & (1<<refLevelShift - 1))
+}
+
+func refLevel(ref uint64) int {
+	return int(ref >> refLevelShift)
+}
+
+// rootPair returns the initial <R.root, S.root> queue element.
+func (c *execContext) rootPair() hybridq.Pair {
+	return hybridq.Pair{
+		Dist:      c.left.Bounds().MinDist(c.right.Bounds()),
+		Left:      nodeRef(c.left.Root(), c.left.Height()-1),
+		Right:     nodeRef(c.right.Root(), c.right.Height()-1),
+		LeftRect:  c.left.Bounds(),
+		RightRect: c.right.Bounds(),
+	}
+}
+
+// push enqueues p on the main queue, counting the insertion, and
+// reports whether the pair was accepted. Under SelfJoin semantics,
+// object pairs that are identities or mirror duplicates are rejected
+// here — centrally, so every algorithm inherits the filter. (Node
+// pairs are never filtered: the mirror node pair produces the mirror
+// object pairs, which this filter dedupes.)
+func (c *execContext) push(p hybridq.Pair) bool {
+	if c.opts.SelfJoin && p.IsResult() && p.Left >= p.Right {
+		return false
+	}
+	c.queue.Push(p)
+	c.mc.AddMainQueueInsert(1)
+	c.mc.ObserveQueueLen(c.queue.Len())
+	return true
+}
+
+// refine replaces an <object,object> pair's MBR lower-bound distance
+// with the refiner's exact distance (clamped to be no smaller) and
+// marks it refined. The call is counted as a refinement computation.
+func (c *execContext) refine(p hybridq.Pair) hybridq.Pair {
+	d := c.refiner(int64(p.Left), int64(p.Right), p.LeftRect, p.RightRect)
+	c.mc.AddRefinement(1)
+	if d > p.Dist {
+		p.Dist = d
+	}
+	p.Refined = true
+	return p
+}
+
+// needsRefinement reports whether a dequeued result pair must go back
+// through the refiner before it may be emitted.
+func (c *execContext) needsRefinement(p hybridq.Pair) bool {
+	return c.refiner != nil && !p.Refined
+}
+
+// result converts an <object,object> pair.
+func pairResult(p hybridq.Pair) Result {
+	return Result{
+		LeftObj:   int64(p.Left),
+		RightObj:  int64(p.Right),
+		LeftRect:  p.LeftRect,
+		RightRect: p.RightRect,
+		Dist:      p.Dist,
+	}
+}
+
+// sideEntries materializes the expandable entries of one pair side:
+// the node's children for node sides (reading the node and recording
+// the access), or the object itself as a singleton list. childIsObj
+// reports whether the returned entries are objects.
+func (c *execContext) sideEntries(tree *rtree.Tree, ref uint64, isObj bool, rect geom.Rect) (entries []rtree.NodeEntry, childIsObj bool, err error) {
+	if isObj {
+		return []rtree.NodeEntry{{Rect: rect, Ref: ref}}, true, nil
+	}
+	// Decode into the per-query scratch node (its entry buffer is
+	// reused across reads), then copy out: the sweep sorts and retains
+	// the entries past the next read.
+	if err := tree.ReadNode(refPage(ref), &c.scratch, c.mc); err != nil {
+		return nil, false, err
+	}
+	entries = make([]rtree.NodeEntry, len(c.scratch.Entries))
+	copy(entries, c.scratch.Entries)
+	if !c.scratch.IsLeaf() {
+		// Stamp child levels into the refs.
+		for i := range entries {
+			entries[i].Ref = nodeRef(storage.PageID(entries[i].Ref), c.scratch.Level-1)
+		}
+	}
+	return entries, c.scratch.IsLeaf(), nil
+}
+
+// maxDist computes the maximum distance between two rects, counted as
+// a real distance computation.
+func (c *execContext) maxDist(a, b geom.Rect) float64 {
+	c.mc.AddRealDist(1)
+	return a.MaxDist(b)
+}
+
+// minDist computes the minimum distance, counted.
+func (c *execContext) minDist(a, b geom.Rect) float64 {
+	c.mc.AddRealDist(1)
+	return a.MinDist(b)
+}
+
+// cancelEvery bounds how many pops happen between cancellation polls.
+const cancelEvery = 256
+
+// cancelled polls the configured context at a bounded rate, returning
+// its error once it fires.
+func (c *execContext) cancelled() error {
+	if c.opts.Context == nil {
+		return nil
+	}
+	c.cancelTick++
+	if c.cancelTick%cancelEvery != 0 {
+		return nil
+	}
+	return c.opts.Context.Err()
+}
+
+// exhaustiveDist is a conservative upper bound on any pair distance in
+// the join, used to detect AM-IDJ exhaustion.
+func (c *execContext) exhaustiveDist() float64 {
+	d := c.left.Bounds().MaxDist(c.right.Bounds())
+	if d == 0 {
+		return math.SmallestNonzeroFloat64
+	}
+	return d
+}
+
+// DefaultHistogramGrid is the grid dimension NewHistogramEstimator
+// uses when given a non-positive value.
+const DefaultHistogramGrid = 32
+
+// NewHistogramEstimator builds the non-uniform eDmax estimator of the
+// paper's §6 future work from the leaf contents of both trees: a
+// g x g grid histogram over the joint bounds. Building it reads every
+// leaf once (outside any query's measured node accesses), so construct
+// it once per tree pair and reuse it across queries via
+// Options.Estimator.
+func NewHistogramEstimator(left, right *rtree.Tree, g int) (*estimate.Histogram, error) {
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("join: both trees are required")
+	}
+	if g <= 0 {
+		g = DefaultHistogramGrid
+	}
+	h, err := estimate.NewHistogram(left.Bounds().Union(right.Bounds()), g)
+	if err != nil {
+		return nil, err
+	}
+	if err := left.Search(left.Bounds(), nil, func(it rtree.Item) bool {
+		h.AddLeft(it.Rect)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if err := right.Search(right.Bounds(), nil, func(it rtree.Item) bool {
+		h.AddRight(it.Rect)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return h, nil
+}

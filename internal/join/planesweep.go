@@ -1,0 +1,220 @@
+package join
+
+import (
+	"distjoin/internal/hybridq"
+	"distjoin/internal/rtree"
+	"distjoin/internal/sweep"
+)
+
+// anchorRange records, for one anchor of a plane sweep, the half-open
+// index range of candidates in the opposite sorted list that were
+// examined (axis gap within the stage's cutoff). AM-KDJ's compensation
+// stage resumes each anchor at .to; AM-IDJ's band re-examination
+// revisits [.from,.to) under a grown cutoff.
+type anchorRange struct {
+	from, to int32
+}
+
+// sweepRanges is the per-expansion compensation bookkeeping: one range
+// per sorted child of each side (lines 19/21 of Algorithm 2).
+type sweepRanges struct {
+	l, r []anchorRange
+}
+
+// sweepRun executes one bidirectional node expansion by plane sweep
+// (the PlaneSweep / AggressivePlaneSweep / CompensatePlaneSweep
+// procedures of Algorithms 1–3, unified).
+//
+// L and R must already be sorted per plan. The merge loop repeatedly
+// takes the entry with the minimum sweep key as the anchor and scans
+// the not-yet-anchored prefix-remainder of the opposite list in key
+// order, breaking at the first candidate whose axis gap exceeds
+// axisCutoff(). For each surviving candidate the real distance is
+// computed (and counted) and emit is invoked; emit applies the
+// real-distance filter and the queueing.
+//
+// Compensation: when prev is non-nil the anchor scan skips the ranges
+// examined by the earlier stage; when reexamine is additionally
+// non-nil those ranges are revisited through it first (the AM-IDJ band
+// case, where the real-distance cutoff has grown between stages).
+type sweepRun struct {
+	c          *execContext
+	L, R       []rtree.NodeEntry
+	lObj, rObj bool // whether L / R entries are objects
+	plan       sweep.Plan
+	axisCutoff func() float64
+	emit       func(le, re rtree.NodeEntry, d float64)
+	prev       *sweepRanges
+	reexamine  func(le, re rtree.NodeEntry, d float64)
+	record     bool
+	out        sweepRanges
+}
+
+// run executes the sweep. When record is set, out holds the examined
+// ranges afterwards.
+func (s *sweepRun) run() {
+	if s.record {
+		s.out.l = makeEmptyRanges(len(s.L), len(s.R))
+		s.out.r = makeEmptyRanges(len(s.R), len(s.L))
+	}
+	i, j := 0, 0
+	for i < len(s.L) && j < len(s.R) {
+		kl := sweep.Key(s.L[i].Rect, s.plan.Axis, s.plan.Dir)
+		kr := sweep.Key(s.R[j].Rect, s.plan.Axis, s.plan.Dir)
+		if kl <= kr {
+			s.sweepAnchor(true, i, j)
+			i++
+		} else {
+			s.sweepAnchor(false, j, i)
+			j++
+		}
+	}
+}
+
+// makeEmptyRanges initializes per-anchor ranges to empty-at-end, the
+// correct value for entries that never become anchors (their pairs are
+// all covered from the opposite side).
+func makeEmptyRanges(n, otherLen int) []anchorRange {
+	rs := make([]anchorRange, n)
+	for i := range rs {
+		rs[i] = anchorRange{from: int32(otherLen), to: int32(otherLen)}
+	}
+	return rs
+}
+
+// sweepAnchor processes one anchor: the entry at index ai on the given
+// side, with oj the current consumption point of the opposite list.
+func (s *sweepRun) sweepAnchor(fromL bool, ai, oj int) {
+	var anchor rtree.NodeEntry
+	var others []rtree.NodeEntry
+	if fromL {
+		anchor = s.L[ai]
+		others = s.R
+	} else {
+		anchor = s.R[ai]
+		others = s.L
+	}
+
+	start := oj
+	recFrom := oj
+	if s.prev != nil {
+		var pr anchorRange
+		if fromL {
+			pr = s.prev.l[ai]
+		} else {
+			pr = s.prev.r[ai]
+		}
+		if s.reexamine != nil {
+			// Band mode: the earlier stage examined [pr.from, pr.to)
+			// under a smaller real-distance cutoff; revisit them so
+			// pairs in the grown band are recovered.
+			for m := pr.from; m < pr.to; m++ {
+				s.dispatch(fromL, anchor, others[m], s.reexamine)
+			}
+		}
+		if int(pr.to) > start {
+			start = int(pr.to)
+		}
+		if int(pr.from) < recFrom {
+			recFrom = int(pr.from)
+		}
+	}
+
+	stop := start
+	for m := start; m < len(others); m++ {
+		s.c.mc.AddAxisDist(1)
+		if sweep.AxisGap(anchor.Rect, others[m].Rect, s.plan.Axis, s.plan.Dir) > s.axisCutoff() {
+			break
+		}
+		s.dispatch(fromL, anchor, others[m], s.emit)
+		stop = m + 1
+	}
+
+	if s.record {
+		r := anchorRange{from: int32(recFrom), to: int32(stop)}
+		if r.to < r.from {
+			r.to = r.from
+		}
+		if fromL {
+			s.out.l[ai] = r
+		} else {
+			s.out.r[ai] = r
+		}
+	}
+}
+
+// dispatch computes the (counted) real distance of the candidate pair
+// and forwards it, in (left, right) orientation, to fn.
+func (s *sweepRun) dispatch(anchorFromL bool, anchor, other rtree.NodeEntry, fn func(le, re rtree.NodeEntry, d float64)) {
+	var le, re rtree.NodeEntry
+	if anchorFromL {
+		le, re = anchor, other
+	} else {
+		le, re = other, anchor
+	}
+	d := s.c.minDist(le.Rect, re.Rect)
+	fn(le, re, d)
+}
+
+// childPair builds the queue element for a candidate child pair.
+func (s *sweepRun) childPair(le, re rtree.NodeEntry, d float64) hybridq.Pair {
+	return hybridq.Pair{
+		Dist:      d,
+		LeftObj:   s.lObj,
+		RightObj:  s.rObj,
+		Left:      le.Ref,
+		Right:     re.Ref,
+		LeftRect:  le.Rect,
+		RightRect: re.Rect,
+	}
+}
+
+// expansion materializes both sides of a pair for sweeping: the child
+// entries, their kind, and the sweep plan (per-pair axis and direction
+// selection of §3.2/§3.3, or the fixed policy for the ablation).
+func (c *execContext) expansion(p hybridq.Pair, cutoff float64) (*sweepRun, error) {
+	L, lObj, err := c.sideEntries(c.left, p.Left, p.LeftObj, p.LeftRect)
+	if err != nil {
+		return nil, err
+	}
+	R, rObj, err := c.sideEntries(c.right, p.Right, p.RightObj, p.RightRect)
+	if err != nil {
+		return nil, err
+	}
+	plan := c.choosePlan(p, cutoff)
+	sweep.SortEntries(L, plan)
+	sweep.SortEntries(R, plan)
+	return &sweepRun{c: c, L: L, R: R, lObj: lObj, rObj: rObj, plan: plan}, nil
+}
+
+// expansionWithPlan is expansion with a predetermined plan, used by the
+// compensation stage to reproduce the stage-one sweep order exactly.
+func (c *execContext) expansionWithPlan(p hybridq.Pair, plan sweep.Plan) (*sweepRun, error) {
+	L, lObj, err := c.sideEntries(c.left, p.Left, p.LeftObj, p.LeftRect)
+	if err != nil {
+		return nil, err
+	}
+	R, rObj, err := c.sideEntries(c.right, p.Right, p.RightObj, p.RightRect)
+	if err != nil {
+		return nil, err
+	}
+	sweep.SortEntries(L, plan)
+	sweep.SortEntries(R, plan)
+	return &sweepRun{c: c, L: L, R: R, lObj: lObj, rObj: rObj, plan: plan}, nil
+}
+
+// choosePlan applies the sweep policy.
+func (c *execContext) choosePlan(p hybridq.Pair, cutoff float64) sweep.Plan {
+	switch {
+	case c.sweepPolicy.SelectAxis && c.sweepPolicy.SelectDirection:
+		return sweep.Choose(p.LeftRect, p.RightRect, cutoff)
+	case c.sweepPolicy.SelectAxis:
+		plan := sweep.Choose(p.LeftRect, p.RightRect, cutoff)
+		plan.Dir = sweep.Forward
+		return plan
+	case c.sweepPolicy.SelectDirection:
+		return sweep.Plan{Axis: 0, Dir: sweep.ChooseDirection(p.LeftRect, p.RightRect, 0)}
+	default:
+		return sweep.Plan{Axis: 0, Dir: sweep.Forward}
+	}
+}

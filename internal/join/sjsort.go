@@ -1,0 +1,104 @@
+package join
+
+import (
+	"distjoin/internal/extsort"
+	"distjoin/internal/hybridq"
+	"distjoin/internal/rtree"
+)
+
+// SJSort runs the SJ-SORT baseline of §5: an R-tree spatial join with
+// a within(dmax) predicate (synchronized bidirectional traversal with
+// plane-sweep pruning, after Brinkhoff/Kriegel/Seeger), followed by an
+// external merge sort of the qualifying pairs by distance, returning
+// the first k. As in the paper, dmax plays the role of an *oracle*:
+// the experiments feed it the real distance of the k-th nearest pair,
+// an assumption favorable to this baseline.
+func SJSort(left, right *rtree.Tree, k int, dmax float64, opts Options) ([]Result, error) {
+	c, err := newContext(left, right, opts)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 || c.left.Size() == 0 || c.right.Size() == 0 {
+		return nil, nil
+	}
+	c.mc.Start()
+	defer c.mc.Finish()
+
+	mem := opts.QueueMemBytes
+	if mem <= 0 {
+		mem = DefaultQueueMemBytes
+	}
+	sorter, err := extsort.NewSorter(pairCodec, func(a, b hybridq.Pair) bool { return a.Less(b) },
+		extsort.Config{MemBytes: mem, Metrics: opts.Metrics, IOCost: c.ioCost})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase one: the spatial join. A DFS over node pairs; qualifying
+	// object pairs stream into the sorter.
+	stack := []hybridq.Pair{c.rootPair()}
+	for len(stack) > 0 {
+		if err := c.cancelled(); err != nil {
+			return nil, err
+		}
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if p.Dist > dmax {
+			continue
+		}
+		run, err := c.expansion(p, dmax)
+		if err != nil {
+			return nil, err
+		}
+		run.axisCutoff = func() float64 { return dmax }
+		run.emit = func(le, re rtree.NodeEntry, d float64) {
+			if d > dmax {
+				return
+			}
+			np := run.childPair(le, re, d)
+			if np.IsResult() {
+				if c.refiner != nil {
+					np = c.refine(np)
+					if np.Dist > dmax {
+						return
+					}
+				}
+				sorter.Add(np)
+				c.mc.AddMainQueueInsert(1) // counted as the baseline's queue work
+			} else {
+				stack = append(stack, np)
+			}
+		}
+		run.run()
+	}
+	if err := sorter.Err(); err != nil {
+		return nil, err
+	}
+
+	// Phase two: external sort, then emit the first k.
+	it, err := sorter.Sort()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, 0, k)
+	for len(results) < k {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		results = append(results, pairResult(p))
+		c.mc.AddResult(1)
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// pairCodec adapts hybridq.Pair's fixed-size encoding to the external
+// sorter.
+var pairCodec = extsort.Codec[hybridq.Pair]{
+	Size:   hybridq.RecordSize,
+	Encode: func(buf []byte, p hybridq.Pair) { p.Encode(buf) },
+	Decode: hybridq.DecodePair,
+}

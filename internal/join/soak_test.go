@@ -1,0 +1,123 @@
+package join
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distjoin/internal/datagen"
+	"distjoin/internal/geom"
+	"distjoin/internal/rtree"
+)
+
+// TestSoakCrossAlgorithmAgreement runs randomized configurations —
+// workload shape, sizes, k, queue memory, fanout, sweep policy,
+// distance-queue policy, eDmax estimates — and demands that every
+// algorithm produce the identical distance sequence. B-KDJ with ample
+// memory serves as the reference; it is itself validated against brute
+// force elsewhere. This is the long-haul confidence test for the
+// interactions the targeted tests cannot enumerate.
+func TestSoakCrossAlgorithmAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	rng := rand.New(rand.NewSource(8888))
+	for trial := 0; trial < 15; trial++ {
+		nL := 200 + rng.Intn(700)
+		nR := 200 + rng.Intn(700)
+		w := geom.NewRect(0, 0, 5000, 5000)
+		var l, r []rtree.Item
+		switch trial % 3 {
+		case 0:
+			l = datagen.Uniform(rng.Int63(), nL, w, 30)
+			r = datagen.Uniform(rng.Int63(), nR, w, 30)
+		case 1:
+			l = datagen.GaussianClusters(rng.Int63(), nL, 1+rng.Intn(6), w, 100+rng.Float64()*400, 20)
+			r = datagen.GaussianClusters(rng.Int63(), nR, 1+rng.Intn(6), w, 100+rng.Float64()*400, 20)
+		default:
+			l = datagen.GaussianClusters(rng.Int63(), nL, 2, w, 150, 10)
+			r = datagen.Uniform(rng.Int63(), nR, w, 40)
+		}
+		fanout := 6 + rng.Intn(60)
+		left, right := buildTree(t, l, fanout), buildTree(t, r, fanout)
+		k := 1 + rng.Intn(3000) // cap: the HS baselines are deliberately slow
+		queueMem := 512 * (1 + rng.Intn(200))
+
+		ref, err := BKDJ(left, right, k, Options{QueueMemBytes: 16 << 20})
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+
+		sweeps := []SweepPolicy{OptimizedSweep, FixedSweep,
+			{SelectAxis: true}, {SelectDirection: true}}
+		sp := sweeps[rng.Intn(len(sweeps))]
+		dq := DistanceQueuePolicy(rng.Intn(2))
+		eDmax := 0.0
+		if rng.Intn(2) == 0 && len(ref) > 0 {
+			eDmax = ref[len(ref)-1].Dist * math.Pow(10, rng.Float64()*4-2)
+		}
+		opts := Options{
+			QueueMemBytes:     queueMem,
+			Sweep:             &sp,
+			DistanceQueue:     dq,
+			EDmax:             eDmax,
+			DisableQueueModel: rng.Intn(4) == 0,
+		}
+
+		check := func(name string, got []Result, err error) {
+			if err != nil {
+				t.Fatalf("trial %d (%s, k=%d, mem=%d, sweep=%+v, dq=%d, eDmax=%g): %v",
+					trial, name, k, queueMem, sp, dq, eDmax, err)
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("trial %d (%s): %d results, want %d", trial, name, len(got), len(ref))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-ref[i].Dist) > 1e-9 {
+					t.Fatalf("trial %d (%s, k=%d, mem=%d, sweep=%+v, dq=%d, eDmax=%g): result %d dist %.12g, want %.12g",
+						trial, name, k, queueMem, sp, dq, eDmax, i, got[i].Dist, ref[i].Dist)
+				}
+			}
+		}
+
+		got, err := HSKDJ(left, right, k, opts)
+		check("HS-KDJ", got, err)
+		got, err = BKDJ(left, right, k, opts)
+		check("B-KDJ", got, err)
+		got, err = AMKDJ(left, right, k, opts)
+		check("AM-KDJ", got, err)
+		if len(ref) > 0 {
+			got, err = SJSort(left, right, k, ref[len(ref)-1].Dist, opts)
+			check("SJ-SORT", got, err)
+		}
+
+		// Incremental pulls of the same k.
+		pull := func(next func() (Result, bool), errf func() error, name string) {
+			var got []Result
+			for len(got) < len(ref) {
+				res, ok := next()
+				if !ok {
+					break
+				}
+				got = append(got, res)
+			}
+			check(name, got, errf())
+		}
+		hs, err := HSIDJ(left, right, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pull(hs.Next, hs.Err, "HS-IDJ")
+		batch := k/7 + 1
+		am, err := AMIDJ(left, right, Options{
+			QueueMemBytes: queueMem,
+			Sweep:         &sp,
+			BatchK:        batch,
+			EDmax:         eDmax,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pull(am.Next, am.Err, "AM-IDJ")
+	}
+}

@@ -1,0 +1,180 @@
+package join
+
+import (
+	"fmt"
+
+	"distjoin/internal/hybridq"
+	"distjoin/internal/rtree"
+)
+
+// WithinJoin streams every object pair whose distance is at most
+// maxDist to fn, in no particular order — the within-predicate spatial
+// join that also forms SJ-SORT's first phase (§5), exposed as an
+// operation of its own. Returning false from fn stops the join early.
+//
+// With a refiner installed, pairs are filtered by their exact
+// distances; under SelfJoin semantics identity and mirror pairs are
+// suppressed. The traversal is a synchronized depth-first descent with
+// plane-sweep pruning, so no priority queue is involved.
+func WithinJoin(left, right *rtree.Tree, maxDist float64, opts Options, fn func(Result) bool) error {
+	if fn == nil {
+		return fmt.Errorf("join: WithinJoin requires a callback")
+	}
+	c, err := newContext(left, right, opts)
+	if err != nil {
+		return err
+	}
+	if maxDist < 0 || c.left.Size() == 0 || c.right.Size() == 0 {
+		return nil
+	}
+	c.mc.Start()
+	defer c.mc.Finish()
+
+	stop := false
+	stack := []hybridq.Pair{c.rootPair()}
+	for len(stack) > 0 && !stop {
+		if err := c.cancelled(); err != nil {
+			return err
+		}
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if p.Dist > maxDist {
+			continue
+		}
+		run, err := c.expansion(p, maxDist)
+		if err != nil {
+			return err
+		}
+		run.axisCutoff = func() float64 { return maxDist }
+		run.emit = func(le, re rtree.NodeEntry, d float64) {
+			if stop || d > maxDist {
+				return
+			}
+			np := run.childPair(le, re, d)
+			if !np.IsResult() {
+				stack = append(stack, np)
+				return
+			}
+			if c.opts.SelfJoin && np.Left >= np.Right {
+				return
+			}
+			if c.refiner != nil {
+				np = c.refine(np)
+				if np.Dist > maxDist {
+					return
+				}
+			}
+			c.mc.AddResult(1)
+			if !fn(pairResult(np)) {
+				stop = true
+			}
+		}
+		run.run()
+	}
+	return nil
+}
+
+// AllNearest reports, for every object in the left tree, its nearest
+// object in the right tree (an all-nearest-neighbors semi-join).
+// Objects are visited in index order of the left tree's leaves; fn
+// returning false stops early. Ties resolve to an arbitrary nearest
+// object. The right tree must be non-empty.
+//
+// The implementation runs one best-first NN search per left object —
+// O(|R|) searches, each logarithmic-ish with warm buffers — which is
+// the right trade-off for the moderate result cardinalities this
+// library targets; the per-search node accesses are all recorded
+// against the collector.
+func AllNearest(left, right *rtree.Tree, opts Options, fn func(left Result) bool) error {
+	if fn == nil {
+		return fmt.Errorf("join: AllNearest requires a callback")
+	}
+	c, err := newContext(left, right, opts)
+	if err != nil {
+		return err
+	}
+	if c.left.Size() == 0 {
+		return nil
+	}
+	if c.right.Size() == 0 {
+		return fmt.Errorf("join: AllNearest requires a non-empty right tree")
+	}
+	c.mc.Start()
+	defer c.mc.Finish()
+
+	var innerErr error
+	err = left.Search(left.Bounds(), c.mc, func(it rtree.Item) bool {
+		ns, err := right.NearestNeighbors(it.Rect, 1, c.mc)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		n := ns[0]
+		res := Result{
+			LeftObj:   it.Obj,
+			RightObj:  n.Item.Obj,
+			LeftRect:  it.Rect,
+			RightRect: n.Item.Rect,
+			Dist:      n.Dist,
+		}
+		c.mc.AddResult(1)
+		return fn(res)
+	})
+	if innerErr != nil {
+		return innerErr
+	}
+	return err
+}
+
+// AllKNearest reports, for every object in the left tree, its k
+// nearest objects in the right tree in nondecreasing distance order (a
+// kNN join). fn receives one batch per left object — every Result in a
+// batch shares the same LeftObj — and may return false to stop early.
+// Fewer than k neighbors are reported when the right tree is smaller
+// than k.
+func AllKNearest(left, right *rtree.Tree, k int, opts Options, fn func(neighbors []Result) bool) error {
+	if fn == nil {
+		return fmt.Errorf("join: AllKNearest requires a callback")
+	}
+	if k <= 0 {
+		return fmt.Errorf("join: AllKNearest requires k > 0")
+	}
+	c, err := newContext(left, right, opts)
+	if err != nil {
+		return err
+	}
+	if c.left.Size() == 0 {
+		return nil
+	}
+	if c.right.Size() == 0 {
+		return fmt.Errorf("join: AllKNearest requires a non-empty right tree")
+	}
+	c.mc.Start()
+	defer c.mc.Finish()
+
+	batch := make([]Result, 0, k)
+	var innerErr error
+	err = left.Search(left.Bounds(), c.mc, func(it rtree.Item) bool {
+		ns, err := right.NearestNeighbors(it.Rect, k, c.mc)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		batch = batch[:0]
+		for _, n := range ns {
+			batch = append(batch, Result{
+				LeftObj:   it.Obj,
+				RightObj:  n.Item.Obj,
+				LeftRect:  it.Rect,
+				RightRect: n.Item.Rect,
+				Dist:      n.Dist,
+			})
+		}
+		c.mc.AddResult(int64(len(batch)))
+		return fn(batch)
+	})
+	if innerErr != nil {
+		return innerErr
+	}
+	return err
+}

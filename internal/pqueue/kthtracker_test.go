@@ -1,0 +1,136 @@
+package pqueue
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// reference maintains the multiset as a sorted slice.
+type refSet struct{ vals []float64 }
+
+func (r *refSet) insert(v float64) {
+	i := sort.SearchFloat64s(r.vals, v)
+	r.vals = append(r.vals, 0)
+	copy(r.vals[i+1:], r.vals[i:])
+	r.vals[i] = v
+}
+
+func (r *refSet) delete(v float64) {
+	i := sort.SearchFloat64s(r.vals, v)
+	r.vals = append(r.vals[:i], r.vals[i+1:]...)
+}
+
+func (r *refSet) kth(k int) float64 {
+	if len(r.vals) < k {
+		return math.Inf(1)
+	}
+	return r.vals[k-1]
+}
+
+func TestKthTrackerBasic(t *testing.T) {
+	tr := NewKthTracker(3)
+	if !math.IsInf(tr.Cutoff(), 1) {
+		t.Fatal("empty cutoff must be +Inf")
+	}
+	tr.Insert(5)
+	tr.Insert(1)
+	if !math.IsInf(tr.Cutoff(), 1) {
+		t.Fatal("cutoff must be +Inf with 2 of 3")
+	}
+	tr.Insert(9)
+	if tr.Cutoff() != 9 {
+		t.Fatalf("cutoff = %g, want 9", tr.Cutoff())
+	}
+	tr.Insert(2)
+	if tr.Cutoff() != 5 {
+		t.Fatalf("cutoff = %g, want 5", tr.Cutoff())
+	}
+	// Deleting a small value pulls the next one in.
+	tr.Delete(1)
+	if tr.Cutoff() != 9 {
+		t.Fatalf("cutoff after delete = %g, want 9", tr.Cutoff())
+	}
+	tr.Delete(9)
+	if !math.IsInf(tr.Cutoff(), 1) {
+		t.Fatalf("cutoff = %g, want +Inf with 2 alive", tr.Cutoff())
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestKthTrackerPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 must panic")
+		}
+	}()
+	NewKthTracker(0)
+}
+
+func TestKthTrackerDuplicateValues(t *testing.T) {
+	tr := NewKthTracker(2)
+	for i := 0; i < 5; i++ {
+		tr.Insert(7)
+	}
+	if tr.Cutoff() != 7 {
+		t.Fatalf("cutoff = %g", tr.Cutoff())
+	}
+	tr.Delete(7)
+	tr.Delete(7)
+	tr.Delete(7)
+	if tr.Cutoff() != 7 || tr.Len() != 2 {
+		t.Fatalf("cutoff=%g len=%d", tr.Cutoff(), tr.Len())
+	}
+	tr.Delete(7)
+	if !math.IsInf(tr.Cutoff(), 1) {
+		t.Fatal("cutoff must be +Inf with 1 alive")
+	}
+}
+
+// Property: against a reference sorted multiset over random
+// insert/delete interleavings, the cutoff always matches.
+func TestKthTrackerAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(10)
+		tr := NewKthTracker(k)
+		ref := &refSet{}
+		for op := 0; op < 2000; op++ {
+			if rng.Intn(3) != 0 || len(ref.vals) == 0 {
+				// Small value domain to force many ties.
+				v := float64(rng.Intn(20))
+				tr.Insert(v)
+				ref.insert(v)
+			} else {
+				v := ref.vals[rng.Intn(len(ref.vals))]
+				tr.Delete(v)
+				ref.delete(v)
+			}
+			if got, want := tr.Cutoff(), ref.kth(k); got != want {
+				t.Fatalf("trial %d op %d k=%d: cutoff %g, want %g", trial, op, k, got, want)
+			}
+			if tr.Len() != len(ref.vals) {
+				t.Fatalf("trial %d op %d: len %d, want %d", trial, op, tr.Len(), len(ref.vals))
+			}
+		}
+	}
+}
+
+func BenchmarkKthTracker(b *testing.B) {
+	tr := NewKthTracker(1000)
+	rng := rand.New(rand.NewSource(1))
+	var live []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := rng.Float64()
+		tr.Insert(v)
+		live = append(live, v)
+		if len(live) > 4096 {
+			tr.Delete(live[0])
+			live = live[1:]
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package pqueue implements the binary-heap priority queues used by
+// the distance join algorithms: a generic heap, and the bounded
+// max-heap "distance queue" of paper §2.1 that maintains the k smallest
+// object-pair distances seen so far and exposes their maximum as the
+// pruning cutoff qDmax.
+package pqueue
+
+import "math"
+
+// Heap is a binary heap ordered by the less function supplied at
+// construction (a min-heap when less is "a < b").
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// NewHeap returns an empty heap ordered by less.
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// NewHeapFromSlice heapifies items in place (O(n)) and returns a heap
+// that owns the slice.
+func NewHeapFromSlice[T any](items []T, less func(a, b T) bool) *Heap[T] {
+	h := &Heap[T]{items: items, less: less}
+	for i := len(items)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	return h
+}
+
+// Len returns the number of elements.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Empty reports whether the heap has no elements.
+func (h *Heap[T]) Empty() bool { return len(h.items) == 0 }
+
+// Push adds v to the heap.
+func (h *Heap[T]) Push(v T) {
+	h.items = append(h.items, v)
+	h.siftUp(len(h.items) - 1)
+}
+
+// Peek returns the top element without removing it. It panics on an
+// empty heap, mirroring slice indexing semantics.
+func (h *Heap[T]) Peek() T { return h.items[0] }
+
+// Pop removes and returns the top element. It panics on an empty heap.
+func (h *Heap[T]) Pop() T {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero // release references for GC
+	h.items = h.items[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+// ReplaceTop pops the top and pushes v in one O(log n) operation.
+func (h *Heap[T]) ReplaceTop(v T) T {
+	top := h.items[0]
+	h.items[0] = v
+	h.siftDown(0)
+	return top
+}
+
+// Clear removes all elements, retaining capacity.
+func (h *Heap[T]) Clear() {
+	var zero T
+	for i := range h.items {
+		h.items[i] = zero
+	}
+	h.items = h.items[:0]
+}
+
+// Items exposes the raw heap-ordered backing slice (top at index 0).
+// Callers must not reorder it; it is intended for draining or for
+// rebuilding via NewHeapFromSlice.
+func (h *Heap[T]) Items() []T { return h.items }
+
+func (h *Heap[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			smallest = right
+		}
+		if !h.less(h.items[smallest], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+// DistanceQueue is the bounded max-heap of paper §2.1: it retains the k
+// smallest distances inserted so far. While fewer than k distances are
+// held the cutoff qDmax is +Inf; afterwards it is the k-th smallest
+// distance, i.e. the maximum element.
+type DistanceQueue struct {
+	k    int
+	heap *Heap[float64]
+}
+
+// NewDistanceQueue returns a distance queue bounded to k distances.
+// k must be positive.
+func NewDistanceQueue(k int) *DistanceQueue {
+	if k <= 0 {
+		panic("pqueue: DistanceQueue requires k > 0")
+	}
+	return &DistanceQueue{
+		k:    k,
+		heap: NewHeap(func(a, b float64) bool { return a > b }), // max-heap
+	}
+}
+
+// K returns the bound.
+func (q *DistanceQueue) K() int { return q.k }
+
+// Len returns the number of retained distances.
+func (q *DistanceQueue) Len() int { return q.heap.Len() }
+
+// Insert offers distance d. It returns true if d was retained (i.e. it
+// is among the k smallest seen so far).
+func (q *DistanceQueue) Insert(d float64) bool {
+	if q.heap.Len() < q.k {
+		q.heap.Push(d)
+		return true
+	}
+	if d < q.heap.Peek() {
+		q.heap.ReplaceTop(d)
+		return true
+	}
+	return false
+}
+
+// Cutoff returns qDmax: +Inf until k distances are held, then the
+// current k-th smallest distance.
+func (q *DistanceQueue) Cutoff() float64 {
+	if q.heap.Len() < q.k {
+		return math.Inf(1)
+	}
+	return q.heap.Peek()
+}

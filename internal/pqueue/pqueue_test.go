@@ -1,0 +1,226 @@
+package pqueue
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapBasics(t *testing.T) {
+	h := NewHeap(func(a, b int) bool { return a < b })
+	if !h.Empty() || h.Len() != 0 {
+		t.Fatal("fresh heap must be empty")
+	}
+	for _, v := range []int{5, 3, 8, 1, 9, 2} {
+		h.Push(v)
+	}
+	if h.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", h.Len())
+	}
+	if h.Peek() != 1 {
+		t.Fatalf("Peek = %d, want 1", h.Peek())
+	}
+	want := []int{1, 2, 3, 5, 8, 9}
+	for i, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+	if !h.Empty() {
+		t.Fatal("heap must be empty after draining")
+	}
+}
+
+func TestHeapPopPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty heap must panic")
+		}
+	}()
+	NewHeap(func(a, b int) bool { return a < b }).Pop()
+}
+
+func TestHeapFromSlice(t *testing.T) {
+	items := []int{9, 4, 7, 1, 3, 8, 2}
+	h := NewHeapFromSlice(items, func(a, b int) bool { return a < b })
+	prev := math.MinInt
+	for !h.Empty() {
+		v := h.Pop()
+		if v < prev {
+			t.Fatalf("heap order violated: %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHeapReplaceTop(t *testing.T) {
+	h := NewHeapFromSlice([]int{1, 5, 3}, func(a, b int) bool { return a < b })
+	if got := h.ReplaceTop(10); got != 1 {
+		t.Fatalf("ReplaceTop returned %d, want 1", got)
+	}
+	if got := h.Pop(); got != 3 {
+		t.Fatalf("after replace, pop = %d, want 3", got)
+	}
+}
+
+func TestHeapClear(t *testing.T) {
+	h := NewHeap(func(a, b int) bool { return a < b })
+	h.Push(1)
+	h.Push(2)
+	h.Clear()
+	if !h.Empty() {
+		t.Fatal("Clear must empty the heap")
+	}
+	h.Push(7)
+	if h.Peek() != 7 {
+		t.Fatal("heap unusable after Clear")
+	}
+}
+
+func TestHeapMaxOrdering(t *testing.T) {
+	h := NewHeap(func(a, b float64) bool { return a > b })
+	for _, v := range []float64{1, 9, 4, 7} {
+		h.Push(v)
+	}
+	if h.Peek() != 9 {
+		t.Fatalf("max-heap Peek = %g, want 9", h.Peek())
+	}
+}
+
+// Property: popping everything yields a sorted permutation of the input.
+func TestHeapSortProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				vals[i] = 0
+			}
+		}
+		h := NewHeap(func(a, b float64) bool { return a < b })
+		for _, v := range vals {
+			h.Push(v)
+		}
+		var got []float64
+		for !h.Empty() {
+			got = append(got, h.Pop())
+		}
+		if len(got) != len(vals) {
+			return false
+		}
+		want := append([]float64(nil), vals...)
+		sort.Float64s(want)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved push/pop dequeues match a reference sorted list.
+func TestHeapInterleavedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := NewHeap(func(a, b int) bool { return a < b })
+	var ref []int
+	for op := 0; op < 5000; op++ {
+		if rng.Intn(3) != 0 || len(ref) == 0 {
+			v := rng.Intn(1000)
+			h.Push(v)
+			ref = append(ref, v)
+			sort.Ints(ref)
+		} else {
+			got := h.Pop()
+			if got != ref[0] {
+				t.Fatalf("op %d: pop = %d, reference min = %d", op, got, ref[0])
+			}
+			ref = ref[1:]
+		}
+	}
+}
+
+func TestDistanceQueueCutoff(t *testing.T) {
+	q := NewDistanceQueue(3)
+	if !math.IsInf(q.Cutoff(), 1) {
+		t.Fatal("cutoff must be +Inf before k distances are held")
+	}
+	q.Insert(5)
+	q.Insert(2)
+	if !math.IsInf(q.Cutoff(), 1) {
+		t.Fatal("cutoff must be +Inf with 2 of 3 held")
+	}
+	q.Insert(9)
+	if q.Cutoff() != 9 {
+		t.Fatalf("cutoff = %g, want 9", q.Cutoff())
+	}
+	if !q.Insert(1) { // displaces 9
+		t.Fatal("1 should be retained")
+	}
+	if q.Cutoff() != 5 {
+		t.Fatalf("cutoff = %g, want 5", q.Cutoff())
+	}
+	if q.Insert(100) {
+		t.Fatal("100 exceeds cutoff and must be rejected")
+	}
+	if q.Len() != 3 || q.K() != 3 {
+		t.Fatalf("Len/K = %d/%d", q.Len(), q.K())
+	}
+}
+
+func TestDistanceQueuePanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 must panic")
+		}
+	}()
+	NewDistanceQueue(0)
+}
+
+// Property: after n inserts, cutoff equals the k-th smallest of the
+// inserted values (or +Inf when n < k).
+func TestDistanceQueueKthSmallestProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(20)
+		n := rng.Intn(100)
+		q := NewDistanceQueue(k)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64() * 1000
+			q.Insert(vals[i])
+		}
+		sort.Float64s(vals)
+		want := math.Inf(1)
+		if n >= k {
+			want = vals[k-1]
+		}
+		if got := q.Cutoff(); got != want {
+			t.Fatalf("k=%d n=%d: cutoff = %g, want %g", k, n, got, want)
+		}
+	}
+}
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	h := NewHeap(func(a, b float64) bool { return a < b })
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(rng.Float64())
+		if h.Len() > 1024 {
+			h.Pop()
+		}
+	}
+}
+
+func BenchmarkDistanceQueueInsert(b *testing.B) {
+	q := NewDistanceQueue(1000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Insert(rng.Float64())
+	}
+}

@@ -1,0 +1,167 @@
+// Package rtree implements the R*-tree index (Beckmann, Kriegel,
+// Schneider, Seeger 1990) used as the access method in the paper's
+// experiments (§5.1). It has two layers:
+//
+//   - Builder: an in-memory R*-tree supporting dynamic insertion with
+//     forced reinsertion, R*-splits, deletion with tree condensation,
+//     and STR bulk loading.
+//   - Tree: a read-only paged image of a built tree, serialized onto
+//     fixed-size pages (4 KB by default) and read back through a
+//     storage.BufferPool so that every node access — and whether it hit
+//     the buffer — is observable by the join algorithms (Table 2).
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"distjoin/internal/geom"
+)
+
+// Item is one spatial object: its MBR and an opaque object identifier.
+type Item struct {
+	Rect geom.Rect
+	Obj  int64
+}
+
+// entry is an in-memory node slot: either a child pointer (internal
+// node) or an object reference (leaf).
+type entry struct {
+	rect  geom.Rect
+	child *node // nil at leaves
+	obj   int64 // valid at leaves
+}
+
+// node is an in-memory R-tree node. level 0 is a leaf.
+type node struct {
+	level   int
+	entries []entry
+}
+
+// mbr returns the union of all entry rectangles.
+func (n *node) mbr() geom.Rect {
+	if len(n.entries) == 0 {
+		return geom.Rect{}
+	}
+	r := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		r = r.Union(e.rect)
+	}
+	return r
+}
+
+// Page layout constants. Each node occupies exactly one page:
+//
+//	offset 0: uint16 level        (0 = leaf)
+//	offset 2: uint16 entry count
+//	offset 4: uint32 reserved
+//	offset 8: count * entrySize entry records:
+//	          4 x float64 MBR, then uint64 ref (child page id at
+//	          internal nodes, object id at leaves)
+const (
+	nodeHeaderSize = 8
+	entrySize      = 4*8 + 8
+)
+
+// PageCapacity returns the maximum number of entries a node page of
+// the given size can hold.
+func PageCapacity(pageSize int) int {
+	return (pageSize - nodeHeaderSize) / entrySize
+}
+
+// NodeEntry is one decoded slot of a paged node.
+type NodeEntry struct {
+	// Rect is the entry's MBR.
+	Rect geom.Rect
+	// Ref is the child page ID at internal nodes and the object ID at
+	// leaves.
+	Ref uint64
+}
+
+// Node is a decoded paged R-tree node.
+type Node struct {
+	// Level is the node's height above the leaves; 0 means leaf.
+	Level int
+	// Entries are the node's slots.
+	Entries []NodeEntry
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Level == 0 }
+
+// MBR returns the union of the node's entry rectangles.
+func (n *Node) MBR() geom.Rect {
+	if len(n.Entries) == 0 {
+		return geom.Rect{}
+	}
+	r := n.Entries[0].Rect
+	for _, e := range n.Entries[1:] {
+		r = r.Union(e.Rect)
+	}
+	return r
+}
+
+// encodeNode serializes n into page, which must be large enough.
+func encodeNode(page []byte, level int, entries []encEntry) error {
+	if cap := PageCapacity(len(page)); len(entries) > cap {
+		return fmt.Errorf("rtree: %d entries exceed page capacity %d", len(entries), cap)
+	}
+	if level < 0 || level > math.MaxUint16 {
+		return fmt.Errorf("rtree: level %d out of range", level)
+	}
+	for i := range page {
+		page[i] = 0
+	}
+	binary.LittleEndian.PutUint16(page[0:], uint16(level))
+	binary.LittleEndian.PutUint16(page[2:], uint16(len(entries)))
+	off := nodeHeaderSize
+	for _, e := range entries {
+		binary.LittleEndian.PutUint64(page[off:], math.Float64bits(e.rect.MinX))
+		binary.LittleEndian.PutUint64(page[off+8:], math.Float64bits(e.rect.MinY))
+		binary.LittleEndian.PutUint64(page[off+16:], math.Float64bits(e.rect.MaxX))
+		binary.LittleEndian.PutUint64(page[off+24:], math.Float64bits(e.rect.MaxY))
+		binary.LittleEndian.PutUint64(page[off+32:], e.ref)
+		off += entrySize
+	}
+	return nil
+}
+
+// encEntry is the serialization form of an entry.
+type encEntry struct {
+	rect geom.Rect
+	ref  uint64
+}
+
+// decodeNode parses a page into dst, reusing dst.Entries capacity.
+func decodeNode(page []byte, dst *Node) error {
+	if len(page) < nodeHeaderSize {
+		return fmt.Errorf("rtree: page too small: %d bytes", len(page))
+	}
+	level := int(binary.LittleEndian.Uint16(page[0:]))
+	count := int(binary.LittleEndian.Uint16(page[2:]))
+	if count > PageCapacity(len(page)) {
+		return fmt.Errorf("rtree: corrupt page: count %d exceeds capacity %d",
+			count, PageCapacity(len(page)))
+	}
+	dst.Level = level
+	if cap(dst.Entries) < count {
+		dst.Entries = make([]NodeEntry, count)
+	} else {
+		dst.Entries = dst.Entries[:count]
+	}
+	off := nodeHeaderSize
+	for i := 0; i < count; i++ {
+		dst.Entries[i] = NodeEntry{
+			Rect: geom.Rect{
+				MinX: math.Float64frombits(binary.LittleEndian.Uint64(page[off:])),
+				MinY: math.Float64frombits(binary.LittleEndian.Uint64(page[off+8:])),
+				MaxX: math.Float64frombits(binary.LittleEndian.Uint64(page[off+16:])),
+				MaxY: math.Float64frombits(binary.LittleEndian.Uint64(page[off+24:])),
+			},
+			Ref: binary.LittleEndian.Uint64(page[off+32:]),
+		}
+		off += entrySize
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the default failure returned by a FaultStore.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultStore wraps a Store and injects a failure after a configurable
+// number of operations. It exists for failure-injection testing: the
+// join algorithms, queue, and sorter must surface storage errors
+// cleanly instead of looping, panicking, or silently truncating
+// results.
+type FaultStore struct {
+	mu        sync.Mutex
+	inner     Store
+	remaining int   // operations until failure; < 0 disables
+	err       error // error to inject
+}
+
+// NewFaultStore wraps inner so that the (failAfter+1)-th subsequent
+// operation — and every operation after it — fails with ErrInjected.
+// A negative failAfter never fails.
+func NewFaultStore(inner Store, failAfter int) *FaultStore {
+	return &FaultStore{inner: inner, remaining: failAfter, err: ErrInjected}
+}
+
+// SetError replaces the injected error.
+func (s *FaultStore) SetError(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.err = err
+}
+
+// Disarm disables fault injection (in-flight behavior becomes
+// pass-through).
+func (s *FaultStore) Disarm() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.remaining = -1
+}
+
+// Arm (re)sets the store to fail after n more operations. A negative n
+// disarms.
+func (s *FaultStore) Arm(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.remaining = n
+}
+
+// tick consumes one operation and reports whether it must fail.
+func (s *FaultStore) tick() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.remaining < 0 {
+		return nil
+	}
+	if s.remaining == 0 {
+		return s.err
+	}
+	s.remaining--
+	return nil
+}
+
+// PageSize implements Store.
+func (s *FaultStore) PageSize() int { return s.inner.PageSize() }
+
+// NumPages implements Store.
+func (s *FaultStore) NumPages() int { return s.inner.NumPages() }
+
+// Alloc implements Store.
+func (s *FaultStore) Alloc() (PageID, error) {
+	if err := s.tick(); err != nil {
+		return InvalidPage, err
+	}
+	return s.inner.Alloc()
+}
+
+// ReadPage implements Store.
+func (s *FaultStore) ReadPage(id PageID, buf []byte) error {
+	if err := s.tick(); err != nil {
+		return err
+	}
+	return s.inner.ReadPage(id, buf)
+}
+
+// WritePage implements Store.
+func (s *FaultStore) WritePage(id PageID, buf []byte) error {
+	if err := s.tick(); err != nil {
+		return err
+	}
+	return s.inner.WritePage(id, buf)
+}
+
+// Stats implements Store.
+func (s *FaultStore) Stats() StoreStats { return s.inner.Stats() }
+
+// Close implements Store.
+func (s *FaultStore) Close() error { return s.inner.Close() }

@@ -1,0 +1,87 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultStorePassThroughAndFailure(t *testing.T) {
+	inner := NewMemStore(128)
+	fs := NewFaultStore(inner, 3)
+	if fs.PageSize() != 128 {
+		t.Fatalf("PageSize = %d", fs.PageSize())
+	}
+	id, err := fs.Alloc() // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if err := fs.WritePage(id, buf); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if err := fs.ReadPage(id, buf); err != nil { // op 3
+		t.Fatal(err)
+	}
+	if err := fs.ReadPage(id, buf); !errors.Is(err, ErrInjected) { // op 4: fails
+		t.Fatalf("expected injected fault, got %v", err)
+	}
+	// Every subsequent operation keeps failing.
+	if _, err := fs.Alloc(); !errors.Is(err, ErrInjected) {
+		t.Fatal("alloc should fail after trigger")
+	}
+	if err := fs.WritePage(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatal("write should fail after trigger")
+	}
+	if fs.NumPages() != 1 {
+		t.Fatalf("NumPages = %d", fs.NumPages())
+	}
+	if fs.Stats().Allocs != 1 {
+		t.Fatalf("stats = %+v", fs.Stats())
+	}
+}
+
+func TestFaultStoreDisarmAndRearm(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(64), 0)
+	if _, err := fs.Alloc(); !errors.Is(err, ErrInjected) {
+		t.Fatal("armed-at-zero store must fail immediately")
+	}
+	fs.Disarm()
+	id, err := fs.Alloc()
+	if err != nil {
+		t.Fatalf("disarmed store failed: %v", err)
+	}
+	fs.Arm(1)
+	buf := make([]byte, 64)
+	if err := fs.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.ReadPage(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatal("re-armed store must fail on second op")
+	}
+}
+
+func TestFaultStoreCustomError(t *testing.T) {
+	custom := errors.New("boom")
+	fs := NewFaultStore(NewMemStore(64), 0)
+	fs.SetError(custom)
+	if _, err := fs.Alloc(); !errors.Is(err, custom) {
+		t.Fatalf("got %v, want custom error", err)
+	}
+}
+
+func TestFaultStoreNegativeNeverFails(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(64), -1)
+	buf := make([]byte, 64)
+	for i := 0; i < 100; i++ {
+		id, err := fs.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,342 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func testStoreBasics(t *testing.T, s Store) {
+	t.Helper()
+	ps := s.PageSize()
+	if s.NumPages() != 0 {
+		t.Fatalf("fresh store has %d pages", s.NumPages())
+	}
+	id0, err := s.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := s.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id0 != 0 || id1 != 1 {
+		t.Fatalf("ids = %d,%d, want 0,1", id0, id1)
+	}
+	if s.NumPages() != 2 {
+		t.Fatalf("NumPages = %d, want 2", s.NumPages())
+	}
+
+	buf := make([]byte, ps)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := s.WritePage(id1, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, ps)
+	if err := s.ReadPage(id1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, got) {
+		t.Fatal("read-back mismatch")
+	}
+	// Fresh page is zeroed.
+	if err := s.ReadPage(id0, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("alloc'd page not zeroed")
+		}
+	}
+
+	// Error cases.
+	if err := s.ReadPage(99, got); err == nil {
+		t.Fatal("out-of-range read must fail")
+	}
+	if err := s.WritePage(99, buf); err == nil {
+		t.Fatal("out-of-range write must fail")
+	}
+	if err := s.ReadPage(id0, make([]byte, ps-1)); !errors.Is(err, ErrBadPageSize) {
+		t.Fatalf("short buffer read: %v", err)
+	}
+	if err := s.WritePage(id0, make([]byte, ps+1)); !errors.Is(err, ErrBadPageSize) {
+		t.Fatalf("long buffer write: %v", err)
+	}
+
+	st := s.Stats()
+	if st.Allocs != 2 || st.Reads != 2 || st.Writes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("alloc after close: %v", err)
+	}
+	if err := s.ReadPage(id0, got); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	testStoreBasics(t, NewMemStore(512))
+}
+
+func TestFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	s, err := CreateFileStore(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStoreBasics(t, s)
+}
+
+func TestFileStoreReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	s, err := CreateFileStore(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0xAB}, 256)
+	if err := s.WritePage(id, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFileStore(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.NumPages() != 1 {
+		t.Fatalf("reopened NumPages = %d, want 1", s2.NumPages())
+	}
+	got := make([]byte, 256)
+	if err := s2.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("reopened page mismatch")
+	}
+}
+
+func TestOpenFileStoreBadSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	s, err := CreateFileStore(path, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := OpenFileStore(path, 256); err == nil {
+		t.Fatal("opening with mismatched page size must fail")
+	}
+	if _, err := OpenFileStore(filepath.Join(t.TempDir(), "missing"), 256); err == nil {
+		t.Fatal("opening missing file must fail")
+	}
+}
+
+func TestDefaultPageSizeApplied(t *testing.T) {
+	s := NewMemStore(0)
+	if s.PageSize() != DefaultPageSize {
+		t.Fatalf("PageSize = %d, want %d", s.PageSize(), DefaultPageSize)
+	}
+}
+
+func TestBufferPoolHitMiss(t *testing.T) {
+	s := NewMemStore(128)
+	p := NewBufferPool(s, 2*128) // two frames
+	ids := make([]PageID, 3)
+	for i := range ids {
+		id, err := s.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		buf := bytes.Repeat([]byte{byte(i + 1)}, 128)
+		if err := s.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, hit, err := p.Get(ids[0]); err != nil || hit {
+		t.Fatalf("first get: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := p.Get(ids[0]); err != nil || !hit {
+		t.Fatalf("second get must hit: hit=%v err=%v", hit, err)
+	}
+	if _, _, err := p.Get(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Pool is full (0,1). Getting 2 evicts LRU = 0.
+	if _, _, err := p.Get(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := p.Get(ids[0]); err != nil || hit {
+		t.Fatalf("page 0 should have been evicted; hit=%v err=%v", hit, err)
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 4 || st.Evictions < 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBufferPoolWriteBack(t *testing.T) {
+	s := NewMemStore(64)
+	p := NewBufferPool(s, 64) // one frame
+	id0, _ := s.Alloc()
+	id1, _ := s.Alloc()
+
+	data := bytes.Repeat([]byte{0x5A}, 64)
+	if err := p.Put(id0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Force eviction of dirty frame 0 by touching page 1.
+	if _, _, err := p.Get(id1); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if err := s.ReadPage(id0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, got) {
+		t.Fatal("dirty frame was not written back on eviction")
+	}
+}
+
+func TestBufferPoolFlushAndInvalidate(t *testing.T) {
+	s := NewMemStore(64)
+	p := NewBufferPool(s, 4*64)
+	id, _ := s.Alloc()
+	data := bytes.Repeat([]byte{7}, 64)
+	if err := p.Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if err := s.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, got) {
+		t.Fatal("flush did not persist dirty frame")
+	}
+	if err := p.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _ := p.Get(id); hit {
+		t.Fatal("invalidate must drop cached frames")
+	}
+}
+
+func TestBufferPoolPutUpdatesCachedFrame(t *testing.T) {
+	s := NewMemStore(64)
+	p := NewBufferPool(s, 4*64)
+	id, _ := s.Alloc()
+	if _, _, err := p.Get(id); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{9}, 64)
+	if err := p.Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	got, hit, err := p.Get(id)
+	if err != nil || !hit {
+		t.Fatalf("get after put: hit=%v err=%v", hit, err)
+	}
+	if !bytes.Equal(data, got) {
+		t.Fatal("put did not update cached frame")
+	}
+	if err := p.Put(id, make([]byte, 63)); !errors.Is(err, ErrBadPageSize) {
+		t.Fatalf("bad size put: %v", err)
+	}
+}
+
+func TestBufferPoolMinimumOneFrame(t *testing.T) {
+	s := NewMemStore(4096)
+	p := NewBufferPool(s, 10) // less than one page
+	if p.Frames() != 1 {
+		t.Fatalf("Frames = %d, want 1", p.Frames())
+	}
+	if p.PageSize() != 4096 || p.Store() != Store(s) {
+		t.Fatal("accessors mismatch")
+	}
+}
+
+// Property: random reads through the pool always return the same bytes
+// as direct store reads, across many interleaved puts/gets.
+func TestBufferPoolConsistencyProperty(t *testing.T) {
+	const pageSize = 128
+	s := NewMemStore(pageSize)
+	p := NewBufferPool(s, 3*pageSize)
+	rng := rand.New(rand.NewSource(99))
+
+	shadow := make(map[PageID][]byte)
+	var ids []PageID
+	for i := 0; i < 10; i++ {
+		id, err := s.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		shadow[id] = make([]byte, pageSize)
+	}
+	for op := 0; op < 2000; op++ {
+		id := ids[rng.Intn(len(ids))]
+		if rng.Intn(2) == 0 {
+			data := make([]byte, pageSize)
+			rng.Read(data)
+			if err := p.Put(id, data); err != nil {
+				t.Fatal(err)
+			}
+			copy(shadow[id], data)
+		} else {
+			got, _, err := p.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, shadow[id]) {
+				t.Fatalf("op %d: page %d content diverged", op, id)
+			}
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, pageSize)
+	for id, want := range shadow {
+		if err := s.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("store page %d diverged after flush", id)
+		}
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	s := NewMemStore(64)
+	p := NewBufferPool(s, 64)
+	id, _ := s.Alloc()
+	if _, _, err := p.Get(id); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetStats()
+	if st := p.Stats(); st != (BufferStats{}) {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+}

@@ -1,0 +1,34 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+
+	"distjoin/internal/geom"
+)
+
+// FuzzIndex checks the sweeping-index closed forms over arbitrary
+// rectangle configurations: finite, nonnegative, and bounded by 2
+// (each term is a pair fraction).
+func FuzzIndex(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 1.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.5)
+	f.Fuzz(func(t *testing.T, ax1, ay1, ax2, ay2, bx1, by1, bx2, by2, d float64) {
+		for _, v := range []float64{ax1, ay1, ax2, ay2, bx1, by1, bx2, by2, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return
+			}
+		}
+		r := geom.NewRect(ax1, ay1, ax2, ay2)
+		s := geom.NewRect(bx1, by1, bx2, by2)
+		if d < 0 {
+			d = -d
+		}
+		for axis := 0; axis < geom.Dims; axis++ {
+			idx := Index(axis, r, s, d)
+			if math.IsNaN(idx) || idx < -1e-9 || idx > 2+1e-9 {
+				t.Fatalf("index out of range: %g (axis %d, r=%v s=%v d=%g)", idx, axis, r, s, d)
+			}
+		}
+	})
+}
