@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race cover fuzz bench experiments examples clean
+.PHONY: all build vet lint test test-short race cover fuzz fuzz-smoke bench experiments examples ci clean
 
 all: build vet test
 
@@ -11,6 +11,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Fail if any file needs gofmt.
+lint: vet
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -31,6 +40,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzPairRoundTrip -fuzztime=20s ./internal/hybridq
 	$(GO) test -fuzz=FuzzIndex -fuzztime=20s ./internal/sweep
 
+# Shorter fuzz pass used by CI (10s per target).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReadFrom -fuzztime=10s ./internal/datagen
+	$(GO) test -fuzz=FuzzDecodeNode -fuzztime=10s ./internal/rtree
+	$(GO) test -fuzz=FuzzPairRoundTrip -fuzztime=10s ./internal/hybridq
+	$(GO) test -fuzz=FuzzIndex -fuzztime=10s ./internal/sweep
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -45,6 +61,14 @@ examples:
 	$(GO) run ./examples/tigerscale -n 10000
 	$(GO) run ./examples/analytics -customers 5000
 
+# Everything the CI workflow (.github/workflows/ci.yml) runs, locally:
+# lint gate, build, tests with coverage, race detector, fuzz smoke.
+ci: lint build
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+	$(GO) test -race -short ./...
+	$(MAKE) fuzz-smoke
+
 clean:
 	$(GO) clean ./...
-	rm -rf figures
+	rm -rf figures coverage.out

@@ -13,6 +13,8 @@ package distjoin
 
 import (
 	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
 
 	"distjoin/internal/experiments"
@@ -245,4 +247,63 @@ func BenchmarkOperations(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---------------------------------------------------------------------
+// Parallel engine benchmarks: serial vs worker-pool AM-KDJ on a uniform
+// 50k x 50k workload. The parallel run returns byte-identical results;
+// the interesting number is wall time vs GOMAXPROCS (see
+// docs/parallel.md for recorded speedups). On a single-CPU host the
+// parallel path measures pure coordination overhead.
+
+var parallelBench struct {
+	once        sync.Once
+	left, right *Index
+	err         error
+}
+
+func parallelBenchIndexes(b *testing.B) (*Index, *Index) {
+	b.Helper()
+	parallelBench.once.Do(func() {
+		rng := rand.New(rand.NewSource(42))
+		a := randObjects(rng, 50000, 100000, 30)
+		c := randObjects(rng, 50000, 100000, 30)
+		parallelBench.left, parallelBench.err = NewIndex(a, &IndexConfig{BufferBytes: 8 << 20})
+		if parallelBench.err != nil {
+			return
+		}
+		parallelBench.right, parallelBench.err = NewIndex(c, &IndexConfig{BufferBytes: 8 << 20})
+	})
+	if parallelBench.err != nil {
+		b.Fatal(parallelBench.err)
+	}
+	return parallelBench.left, parallelBench.right
+}
+
+func benchAMKDJ(b *testing.B, parallelism int) {
+	left, right := parallelBenchIndexes(b)
+	const k = 10000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := KDistanceJoin(left, right, k, &Options{Parallelism: parallelism})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != k {
+			b.Fatalf("got %d results, want %d", len(got), k)
+		}
+	}
+}
+
+// BenchmarkAMKDJSerial is the single-goroutine baseline.
+func BenchmarkAMKDJSerial(b *testing.B) { benchAMKDJ(b, 1) }
+
+// BenchmarkAMKDJParallel uses one expansion worker per CPU.
+func BenchmarkAMKDJParallel(b *testing.B) { benchAMKDJ(b, AutoParallelism) }
+
+// BenchmarkAMKDJParallelWorkers sweeps fixed worker counts.
+func BenchmarkAMKDJParallelWorkers(b *testing.B) {
+	for _, p := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) { benchAMKDJ(b, p) })
+	}
 }

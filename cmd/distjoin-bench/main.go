@@ -8,7 +8,7 @@
 //	distjoin-bench [-exp all|fig10|table2|fig11|fig12|fig13|fig14|fig15|
 //	                     ablation-sweep|ablation-dq|ablation-correction|ablation-queue|ablation-estimator|ablation-split|queue-sizes]
 //	               [-scale 0.05] [-seed N] [-queue-mem bytes] [-buffer bytes]
-//	               [-csv]
+//	               [-parallel N] [-csv]
 //
 // scale=1.0 reproduces the paper's full data sizes (633,461 streets x
 // 189,642 hydrographic objects, k up to 100,000); the default 0.05
@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 
 	"distjoin/internal/experiments"
+	"distjoin/internal/join"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "data generator seed (0 = default)")
 		queueMem = flag.Int("queue-mem", 0, "in-memory main queue bytes (0 = paper's 512 KB)")
 		buffer   = flag.Int("buffer", 0, "R-tree buffer pool bytes (0 = paper's 512 KB)")
+		parallel = flag.Int("parallel", 1, "expansion workers per query: 1 = serial (paper-exact), n > 1 = n workers, 0 = one per CPU")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		svgDir   = flag.String("svg", "", "also write one SVG line chart per chartable table into this directory")
 	)
@@ -41,6 +43,10 @@ func main() {
 		Seed:          *seed,
 		QueueMemBytes: *queueMem,
 		BufferBytes:   *buffer,
+		Parallelism:   *parallel,
+	}
+	if *parallel == 0 {
+		cfg.Parallelism = join.AutoParallelism
 	}
 
 	tabs, err := run(*exp, cfg)

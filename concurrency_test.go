@@ -76,6 +76,83 @@ func (e errMismatch2) Error() string {
 
 func errMismatch(a Algorithm, i int) error { return errMismatch2{algo: a, i: i} }
 
+// TestConcurrentParallelQueries layers worker-pool execution on top of
+// concurrent callers: many goroutines issue parallel (Parallelism > 1)
+// k-distance and incremental joins against the same two indexes
+// through a deliberately tiny shared buffer pool. Every query must
+// return exactly the serial answer — parallel execution is
+// deterministic — and the whole stampede must be race-clean (this test
+// is a primary -race target).
+func TestConcurrentParallelQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randObjects(rng, 700, 2000, 10)
+	b := randObjects(rng, 700, 2000, 10)
+	left, err := NewIndex(a, &IndexConfig{BufferBytes: 8192}) // tiny buffer: heavy contention
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := NewIndex(b, &IndexConfig{BufferBytes: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := KDistanceJoin(left, right, 80, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 9
+	var wg sync.WaitGroup
+	fail := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			par := []int{2, 4, AutoParallelism}[w%3]
+			if w%2 == 0 {
+				// Parallel k-distance joins, alternating algorithms.
+				algo := []Algorithm{AMKDJ, BKDJ}[w%4/2]
+				for i := 0; i < 4; i++ {
+					got, err := KDistanceJoin(left, right, 80, &Options{Algorithm: algo, Parallelism: par})
+					if err != nil {
+						fail <- err.Error()
+						return
+					}
+					for j := range got {
+						if got[j] != want[j] {
+							fail <- algo.String() + ": parallel result diverged from serial"
+							return
+						}
+					}
+				}
+				return
+			}
+			// Parallel incremental iterators.
+			it, err := IncrementalJoin(left, right, &Options{BatchK: 25, Parallelism: par})
+			if err != nil {
+				fail <- err.Error()
+				return
+			}
+			for i := 0; i < len(want); i++ {
+				p, ok := it.Next()
+				if !ok {
+					fail <- "parallel iterator exhausted early"
+					return
+				}
+				if p != want[i] {
+					fail <- "parallel iterator diverged from serial"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Fatal(msg)
+	}
+}
+
 // Concurrent incremental iterators over the same indexes are
 // independent.
 func TestConcurrentIterators(t *testing.T) {

@@ -163,9 +163,25 @@ type Options struct {
 	// candidate pair is refined exactly once, when it first reaches
 	// the head of the priority queue. The returned distance must be at
 	// least the MBR distance and at most the MBR maximum distance —
-	// true for any geometry contained in its MBR.
+	// true for any geometry contained in its MBR. With Parallelism > 1
+	// the refiner is invoked from worker goroutines and must be safe
+	// for concurrent use.
 	Refiner func(left, right Object) float64
+	// Parallelism sets the number of worker goroutines expanding R-tree
+	// node pairs concurrently. 0 or 1 runs the serial algorithms
+	// (default); n > 1 uses n workers; AutoParallelism uses
+	// runtime.GOMAXPROCS(0). Parallel runs return exactly the same
+	// pairs in the same order as serial runs — only the performance
+	// counters in Stats differ (parallel pruning is slightly more
+	// permissive). Applies to KDistanceJoin/KClosestPairs with AMKDJ or
+	// BKDJ and to IncrementalJoin with AMKDJ (AM-IDJ); the baselines
+	// and the ancillary joins always run serially.
+	Parallelism int
 }
+
+// AutoParallelism, assigned to Options.Parallelism, sizes the worker
+// pool to runtime.GOMAXPROCS(0).
+const AutoParallelism = join.AutoParallelism
 
 // joinOptions lowers Options to the internal representation.
 func (o *Options) joinOptions() join.Options {
@@ -180,6 +196,7 @@ func (o *Options) joinOptions() join.Options {
 		Estimator:     o.Estimator,
 		SelfJoin:      o.SelfJoin,
 		Context:       o.Context,
+		Parallelism:   o.Parallelism,
 	}
 	if o.DisableSweepOptimization {
 		sp := join.FixedSweep

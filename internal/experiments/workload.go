@@ -41,6 +41,13 @@ type Config struct {
 	BufferBytes int
 	// Seed drives the synthetic data generators.
 	Seed int64
+	// Parallelism is forwarded to join.Options.Parallelism for every
+	// query the harness runs: 0 or 1 keeps the paper-exact serial
+	// execution (the default — the paper's counters assume it),
+	// n > 1 uses n expansion workers, join.AutoParallelism uses
+	// GOMAXPROCS. Results are identical either way; wall-clock and
+	// per-expansion counter totals differ.
+	Parallelism int
 }
 
 // withDefaults fills unset fields.
@@ -223,6 +230,9 @@ func (w *Workload) RunKDJ(algo Algo, k int, opts join.Options) (*metrics.Collect
 	if opts.QueueMemBytes == 0 {
 		opts.QueueMemBytes = w.Cfg.QueueMemBytes
 	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = w.Cfg.Parallelism
+	}
 	var err error
 	switch algo {
 	case AlgoHSKDJ:
@@ -252,6 +262,9 @@ func (w *Workload) RunIDJ(algo Algo, k int, opts join.Options) (*metrics.Collect
 	opts.Metrics = mc
 	if opts.QueueMemBytes == 0 {
 		opts.QueueMemBytes = w.Cfg.QueueMemBytes
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = w.Cfg.Parallelism
 	}
 	mc.Start()
 	defer mc.Finish()

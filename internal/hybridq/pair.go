@@ -40,16 +40,26 @@ type Pair struct {
 // a producible query result.
 func (p Pair) IsResult() bool { return p.LeftObj && p.RightObj }
 
-// Less orders pairs by distance with a deterministic tie-break
-// (results before non-results so equal-distance answers surface
-// immediately, then by identifiers).
+// Less orders pairs by distance with a deterministic tie-break:
+// expandable (non-result) pairs before results, then by identifiers.
+//
+// Draining expandable pairs first at a tied distance makes the
+// emission order among ties canonical: a result at distance d can
+// reach the queue head only after every node pair with distance <= d
+// has been expanded — at which point every distance-d result that will
+// ever exist is already queued, and they pop in identifier order. The
+// order is therefore a pure function of the data, independent of
+// insertion timing, which is what lets the parallel join engine emit
+// byte-identical results to the serial algorithms. (The cost: at a
+// heavily tied distance — typically 0, overlapping MBRs — all tied
+// node pairs are expanded before the first tied result is emitted.)
 func (p Pair) Less(o Pair) bool {
 	if p.Dist != o.Dist {
 		return p.Dist < o.Dist
 	}
 	pr, or := p.IsResult(), o.IsResult()
 	if pr != or {
-		return pr
+		return or
 	}
 	if p.Left != o.Left {
 		return p.Left < o.Left

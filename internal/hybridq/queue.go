@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"distjoin/internal/metrics"
 	"distjoin/internal/pqueue"
@@ -29,6 +30,19 @@ type Queue struct {
 	mc       *metrics.Collector
 	ioCost   metrics.IOCostModel
 	err      error
+	// splitFloor suppresses pointless re-splits: when a split finds the
+	// whole heap sharing one distance (nothing spillable without
+	// straddling a tie run across the memory/disk boundary), it records
+	// the heap length here, and Push retries a split only once the heap
+	// grows past it with a spillable (longer-distance) element possible.
+	splitFloor int
+	// mu serializes the public operations when the queue was built with
+	// Config.Concurrent. The parallel join engine touches the main queue
+	// only from its coordinating goroutine between worker barriers, so
+	// the lock is defense-in-depth rather than a hot-path cost; it makes
+	// the queue safe under -race for any future caller that does share
+	// it across goroutines. Nil when the queue is single-goroutine.
+	mu *sync.Mutex
 }
 
 // segment is one on-disk unsorted pile covering the distance range
@@ -58,6 +72,10 @@ type Config struct {
 	// IOCost charges simulated time per spilled page; zero value
 	// charges nothing.
 	IOCost metrics.IOCostModel
+	// Concurrent guards the queue with an internal mutex so its public
+	// operations are safe to call from multiple goroutines. The serial
+	// join algorithms leave it unset and pay nothing.
+	Concurrent bool
 }
 
 // New returns an empty hybrid queue.
@@ -78,7 +96,7 @@ func New(cfg Config) *Queue {
 	if b := math.Sqrt(float64(capacity) * cfg.Rho); b > 0 {
 		memBound = b
 	}
-	return &Queue{
+	q := &Queue{
 		heap:     pqueue.NewHeap(func(a, b Pair) bool { return a.Less(b) }),
 		capacity: capacity,
 		memBound: memBound,
@@ -88,6 +106,20 @@ func New(cfg Config) *Queue {
 		mc:       cfg.Metrics,
 		ioCost:   cfg.IOCost,
 	}
+	if cfg.Concurrent {
+		q.mu = new(sync.Mutex)
+	}
+	return q
+}
+
+// lock acquires the internal mutex when the queue is concurrent; it
+// returns an unlock func (a no-op for single-goroutine queues).
+func (q *Queue) lock() func() {
+	if q.mu == nil {
+		return func() {}
+	}
+	q.mu.Lock()
+	return q.mu.Unlock
 }
 
 // Capacity returns the heap capacity in pairs.
@@ -95,6 +127,7 @@ func (q *Queue) Capacity() int { return q.capacity }
 
 // Len returns the total number of queued pairs (memory + disk).
 func (q *Queue) Len() int {
+	defer q.lock()()
 	n := q.heap.Len()
 	for _, s := range q.segs {
 		n += s.count
@@ -106,22 +139,32 @@ func (q *Queue) Len() int {
 func (q *Queue) Empty() bool { return q.Len() == 0 }
 
 // MemLen returns the number of pairs currently in the in-memory heap.
-func (q *Queue) MemLen() int { return q.heap.Len() }
+func (q *Queue) MemLen() int {
+	defer q.lock()()
+	return q.heap.Len()
+}
 
 // Segments returns the number of on-disk segments.
-func (q *Queue) Segments() int { return len(q.segs) }
+func (q *Queue) Segments() int {
+	defer q.lock()()
+	return len(q.segs)
+}
 
 // Err returns the first storage error encountered, if any.
-func (q *Queue) Err() error { return q.err }
+func (q *Queue) Err() error {
+	defer q.lock()()
+	return q.err
+}
 
 // Push enqueues p.
 func (q *Queue) Push(p Pair) {
+	defer q.lock()()
 	if q.err != nil {
 		return
 	}
 	if p.Dist < q.memBound {
 		q.heap.Push(p)
-		if q.heap.Len() > q.capacity {
+		if q.heap.Len() > q.capacity && q.heap.Len() > q.splitFloor {
 			q.splitHeap()
 		}
 		return
@@ -132,6 +175,7 @@ func (q *Queue) Push(p Pair) {
 // Pop removes and returns the minimum pair. ok is false when the
 // queue is empty or a storage error is latched.
 func (q *Queue) Pop() (p Pair, ok bool) {
+	defer q.lock()()
 	if q.err != nil {
 		return Pair{}, false
 	}
@@ -145,6 +189,7 @@ func (q *Queue) Pop() (p Pair, ok bool) {
 
 // Peek returns the minimum pair without removing it.
 func (q *Queue) Peek() (p Pair, ok bool) {
+	defer q.lock()()
 	if q.err != nil {
 		return Pair{}, false
 	}
@@ -159,6 +204,14 @@ func (q *Queue) Peek() (p Pair, ok bool) {
 // splitHeap handles heap overflow: the longer-distance half of the
 // heap is moved to a new disk segment and the in-memory bound shrinks
 // to the split distance.
+//
+// Pairs sharing one distance are never split across the memory/disk
+// boundary: queue consumers (the parallel join engine in particular)
+// rely on equal-distance pairs popping in their full Less order, which
+// holds only if a tie run always lives in a single region. When the
+// split point lands inside a run, the whole run stays in memory — the
+// budget is temporarily exceeded by the run length — and only the
+// strictly-longer tail spills.
 func (q *Queue) splitHeap() {
 	items := append([]Pair(nil), q.heap.Items()...)
 	sort.Slice(items, func(i, j int) bool { return items[i].Less(items[j]) })
@@ -173,15 +226,26 @@ func (q *Queue) splitHeap() {
 	for keep > 0 && items[keep-1].Dist == split {
 		keep--
 	}
+	bound := split
 	if keep == 0 {
-		// Every pair shares one distance; keep the first half anyway —
-		// equal keys cannot violate pop ordering.
-		keep = len(items) / 2
+		// The split point landed inside a single-distance run: keep
+		// the entire run, spill only pairs strictly beyond it.
+		bound = math.Nextafter(split, math.Inf(1))
+		keep = sort.Search(len(items), func(i int) bool { return items[i].Dist > split })
+	}
+	if keep == len(items) {
+		// Nothing spillable — the whole heap is one tie run. Leave it
+		// in memory, shrink the bound so longer pairs spill directly,
+		// and stop re-splitting until the heap can actually shed load.
+		q.memBound = bound
+		q.splitFloor = len(items)
+		return
 	}
 
 	hi := q.memBound
-	q.memBound = split
-	seg := &segment{lo: split, hi: hi, buf: make([]byte, q.store.PageSize())}
+	q.memBound = bound
+	q.splitFloor = 0
+	seg := &segment{lo: bound, hi: hi, buf: make([]byte, q.store.PageSize())}
 	for _, p := range items[keep:] {
 		q.appendToSegment(seg, p)
 	}
@@ -312,6 +376,7 @@ func (q *Queue) swapIn() bool {
 	}
 	seg := q.segs[0]
 	q.segs = q.segs[1:]
+	q.splitFloor = 0 // heap is empty; any previous overrun is gone
 
 	items := make([]Pair, 0, seg.count)
 	page := make([]byte, q.store.PageSize())
@@ -337,16 +402,25 @@ func (q *Queue) swapIn() bool {
 		for keep > 0 && items[keep-1].Dist == split {
 			keep--
 		}
+		bound := split
 		if keep == 0 {
-			keep = q.capacity
+			// As in splitHeap: never straddle a tie run across the
+			// boundary — keep the whole run, even over capacity.
+			bound = math.Nextafter(split, math.Inf(1))
+			keep = sort.Search(len(items), func(i int) bool { return items[i].Dist > split })
 		}
-		rest := &segment{lo: split, hi: seg.hi, buf: make([]byte, q.store.PageSize())}
-		for _, p := range items[keep:] {
-			q.appendToSegment(rest, p)
+		if keep == len(items) {
+			q.memBound = seg.hi
+			q.splitFloor = len(items)
+		} else {
+			rest := &segment{lo: bound, hi: seg.hi, buf: make([]byte, q.store.PageSize())}
+			for _, p := range items[keep:] {
+				q.appendToSegment(rest, p)
+			}
+			q.insertSegment(rest)
+			items = items[:keep]
+			q.memBound = bound
 		}
-		q.insertSegment(rest)
-		items = items[:keep]
-		q.memBound = split
 	} else {
 		q.memBound = seg.hi
 	}
@@ -359,16 +433,23 @@ func (q *Queue) swapIn() bool {
 
 // Drain removes all pairs (used between experiment stages).
 func (q *Queue) Drain() {
+	defer q.lock()()
 	q.heap.Clear()
 	for _, s := range q.segs {
 		q.free = append(q.free, s.pages...)
 	}
 	q.segs = nil
 	q.memBound = math.Inf(1)
+	q.splitFloor = 0
 }
 
 // String summarizes the queue state for diagnostics.
 func (q *Queue) String() string {
+	defer q.lock()()
+	n := q.heap.Len()
+	for _, s := range q.segs {
+		n += s.count
+	}
 	return fmt.Sprintf("hybridq{mem=%d/%d bound=%g segs=%d total=%d}",
-		q.heap.Len(), q.capacity, q.memBound, len(q.segs), q.Len())
+		q.heap.Len(), q.capacity, q.memBound, len(q.segs), n)
 }

@@ -37,10 +37,11 @@ func TestPairLessOrdering(t *testing.T) {
 	if !a.Less(b) || b.Less(a) {
 		t.Fatal("distance ordering broken")
 	}
-	// Result pairs sort before node pairs at equal distance.
+	// Expandable (node) pairs sort before result pairs at equal
+	// distance, so tied emission order is insertion-independent.
 	res := Pair{Dist: 1, LeftObj: true, RightObj: true}
 	node := Pair{Dist: 1}
-	if !res.Less(node) || node.Less(res) {
+	if !node.Less(res) || res.Less(node) {
 		t.Fatal("result tie-break broken")
 	}
 	if !res.IsResult() || node.IsResult() {

@@ -123,7 +123,11 @@ func (it *AMIDJIterator) Next() (Result, bool) {
 			it.c.mc.AddResult(1)
 			return pairResult(p), true
 		}
-		if err := it.expand(p); err != nil {
+		expand := it.expand
+		if it.c.par != nil {
+			expand = it.expandParallel
+		}
+		if err := expand(p); err != nil {
 			it.err = err
 			return Result{}, false
 		}
@@ -140,7 +144,7 @@ func (it *AMIDJIterator) expand(p hybridq.Pair) error {
 	key := keyOf(p)
 	ci := it.compMap[key]
 	if ci == nil {
-		run, err := c.expansion(p, cur)
+		run, err := c.ex.expansion(p, cur)
 		if err != nil {
 			return err
 		}
@@ -166,7 +170,7 @@ func (it *AMIDJIterator) expand(p hybridq.Pair) error {
 	// Re-expansion: recover the band (prev, cur] among previously
 	// examined pairs, and everything <= cur in the unexamined suffix.
 	prev := ci.examCutoff
-	run, err := c.expansionWithPlan(p, ci.plan)
+	run, err := c.ex.expansionWithPlan(p, ci.plan)
 	if err != nil {
 		return err
 	}

@@ -37,6 +37,9 @@ func AMKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 	}
 	c.mc.Start()
 	defer c.mc.Finish()
+	if c.par != nil {
+		return amkdjParallel(c, k, opts)
+	}
 
 	ct := newCutoffTracker(c, k, c.dqPolicy)
 	eDmax := opts.EDmax
@@ -158,7 +161,7 @@ func AMKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 // qDmax (as in B-KDJ), with per-anchor bookkeeping of the examined
 // ranges (lines 19/21).
 func (c *execContext) amAggressiveSweep(p hybridq.Pair, eDmax float64, ct *cutoffTracker) (*compInfo, error) {
-	run, err := c.expansion(p, eDmax)
+	run, err := c.ex.expansion(p, eDmax)
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +187,7 @@ func (c *execContext) amAggressiveSweep(p hybridq.Pair, eDmax float64, ct *cutof
 // rejected then would be rejected now, and anything accepted is
 // already in the main queue.
 func (c *execContext) amCompensateSweep(p hybridq.Pair, ci *compInfo, ct *cutoffTracker) error {
-	run, err := c.expansionWithPlan(p, ci.plan)
+	run, err := c.ex.expansionWithPlan(p, ci.plan)
 	if err != nil {
 		return err
 	}

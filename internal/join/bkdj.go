@@ -18,6 +18,9 @@ func BKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 	}
 	c.mc.Start()
 	defer c.mc.Finish()
+	if c.par != nil {
+		return bkdjParallel(c, k)
+	}
 
 	ct := newCutoffTracker(c, k, c.dqPolicy)
 	results := make([]Result, 0, k)
@@ -62,7 +65,7 @@ func BKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 // distance is within qDmax, feeding the distance queue (which shrinks
 // qDmax).
 func (c *execContext) bkdjPlaneSweep(p hybridq.Pair, ct *cutoffTracker) error {
-	run, err := c.expansion(p, ct.Cutoff())
+	run, err := c.ex.expansion(p, ct.Cutoff())
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,9 @@
 package join
 
 import (
+	"math"
+	"sync/atomic"
+
 	"distjoin/internal/hybridq"
 	"distjoin/internal/pqueue"
 )
@@ -30,6 +33,14 @@ type cutoffTracker struct {
 	refine bool
 	objQ   *pqueue.DistanceQueue
 	kth    *pqueue.KthTracker
+	// live mirrors Cutoff() as Float64bits for lock-free reads by
+	// parallel expansion workers. The tracker itself is mutated only
+	// by the coordinating goroutine (between worker barriers), so the
+	// heaps need no lock; workers read the atomically-maintained
+	// global cutoff through LiveCutoff. A worker may observe a value
+	// at most as stale as the last barrier — i.e. never smaller than
+	// the true qDmax — so pruning against it is always sound.
+	live atomic.Uint64
 }
 
 func newCutoffTracker(c *execContext, k int, policy DistanceQueuePolicy) *cutoffTracker {
@@ -39,7 +50,19 @@ func newCutoffTracker(c *execContext, k int, policy DistanceQueuePolicy) *cutoff
 	} else {
 		t.objQ = pqueue.NewDistanceQueue(k)
 	}
+	t.live.Store(math.Float64bits(math.Inf(1)))
 	return t
+}
+
+// LiveCutoff returns the atomically-published qDmax; safe to call from
+// any goroutine.
+func (t *cutoffTracker) LiveCutoff() float64 {
+	return math.Float64frombits(t.live.Load())
+}
+
+// publish refreshes the atomic mirror after a tracker mutation.
+func (t *cutoffTracker) publish() {
+	t.live.Store(math.Float64bits(t.Cutoff()))
 }
 
 // useKth reports whether deletions are needed, forcing the two-heap
@@ -76,7 +99,7 @@ func (t *cutoffTracker) bound(p hybridq.Pair, counted bool) (float64, bool) {
 
 func (t *cutoffTracker) pairMaxDist(p hybridq.Pair, counted bool) float64 {
 	if counted {
-		return t.c.maxDist(p.LeftRect, p.RightRect)
+		return t.c.ex.maxDist(p.LeftRect, p.RightRect)
 	}
 	return p.LeftRect.MaxDist(p.RightRect)
 }
@@ -92,6 +115,7 @@ func (t *cutoffTracker) OnPush(p hybridq.Pair) {
 	} else {
 		t.objQ.Insert(b)
 	}
+	t.publish()
 	t.c.mc.AddDistQueueInsert(1)
 }
 
@@ -106,5 +130,6 @@ func (t *cutoffTracker) OnRemove(p hybridq.Pair) {
 	}
 	if b, ok := t.bound(p, false); ok {
 		t.kth.Delete(b)
+		t.publish()
 	}
 }

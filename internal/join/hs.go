@@ -75,7 +75,7 @@ func (c *execContext) hsExpand(p hybridq.Pair, ct *cutoffTracker) error {
 	if !expandLeft {
 		tree, ref, isObj, rect = c.right, p.Right, p.RightObj, p.RightRect
 	}
-	entries, childIsObj, err := c.sideEntries(tree, ref, isObj, rect)
+	entries, childIsObj, err := c.ex.sideEntries(tree, ref, isObj, rect)
 	if err != nil {
 		return err
 	}
@@ -94,7 +94,7 @@ func (c *execContext) hsExpand(p hybridq.Pair, ct *cutoffTracker) error {
 				LeftRect: p.LeftRect, RightRect: e.Rect,
 			}
 		}
-		np.Dist = c.minDist(np.LeftRect, np.RightRect)
+		np.Dist = c.ex.minDist(np.LeftRect, np.RightRect)
 		if ct != nil && np.Dist > ct.Cutoff() {
 			continue
 		}

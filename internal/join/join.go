@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 
 	"distjoin/internal/estimate"
 	"distjoin/internal/geom"
@@ -131,8 +132,49 @@ type Options struct {
 	// refinement split that §1 of the paper shows cannot be applied
 	// naively to distance joins. The exact distance must never be
 	// smaller than the MBR distance (true for any geometry contained
-	// in its MBR); smaller return values are clamped.
+	// in its MBR); smaller return values are clamped. With
+	// Parallelism > 1 the refiner may be invoked from multiple
+	// goroutines concurrently and must be safe for concurrent use.
 	Refiner func(leftObj, rightObj int64, leftRect, rightRect geom.Rect) float64
+	// Parallelism selects the number of worker goroutines used for
+	// node expansion and plane sweeping by BKDJ, AMKDJ, and AMIDJ:
+	//
+	//   0 or 1          — the paper-exact serial path (default);
+	//   n > 1           — n expansion workers;
+	//   AutoParallelism — runtime.GOMAXPROCS(0) workers.
+	//
+	// Parallel runs return exactly the same pairs in the same order
+	// as serial runs (see the package-level determinism notes in
+	// parallel.go); only the performance counters differ, because the
+	// pruning cutoffs are frozen per expansion batch instead of
+	// tightening after every single expansion. The other algorithms
+	// (HS baselines, SJ-SORT, WithinJoin, AllNearest) ignore the
+	// field and always run serially.
+	Parallelism int
+}
+
+// AutoParallelism requests one expansion worker per available CPU
+// (runtime.GOMAXPROCS(0)) without hard-coding a count.
+const AutoParallelism = -1
+
+// MaxParallelism caps the resolved worker count; beyond this the
+// sequential merge phase dominates and extra workers only add memory.
+const MaxParallelism = 64
+
+// workers resolves Options.Parallelism to an effective worker count
+// (>= 1, where 1 means the serial path).
+func (o Options) workers() int {
+	p := o.Parallelism
+	if p < 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > MaxParallelism {
+		p = MaxParallelism
+	}
+	return p
 }
 
 // DefaultQueueMemBytes is the paper's main-queue memory setting.
@@ -155,7 +197,19 @@ type execContext struct {
 	refiner     func(leftObj, rightObj int64, leftRect, rightRect geom.Rect) float64
 	opts        Options
 	cancelTick  int
-	scratch     rtree.Node // reused decode buffer for sideEntries
+	ex          expander       // serial expansion state (scratch + main collector)
+	par         *parallelState // non-nil when Options.Parallelism resolves to > 1
+}
+
+// expander carries the per-goroutine state a node expansion needs: a
+// scratch decode buffer and the metrics collector the work is
+// accounted to. The execContext owns one for the serial path; the
+// parallel engine gives each worker goroutine its own, backed by a
+// metrics shard, so expansions never share mutable state.
+type expander struct {
+	c       *execContext
+	mc      *metrics.Collector
+	scratch rtree.Node // reused decode buffer for sideEntries
 }
 
 // newContext validates inputs and builds the shared state.
@@ -195,6 +249,10 @@ func newContext(left, right *rtree.Tree, opts Options) (*execContext, error) {
 	if ctx.est == nil {
 		ctx.est = model
 	}
+	ctx.ex = expander{c: ctx, mc: opts.Metrics}
+	if w := opts.workers(); w > 1 {
+		ctx.par = newParallelState(ctx, w)
+	}
 	rho := model.Rho()
 	if opts.DisableQueueModel {
 		rho = 0
@@ -205,6 +263,11 @@ func newContext(left, right *rtree.Tree, opts Options) (*execContext, error) {
 		Store:    opts.QueueStore,
 		Metrics:  opts.Metrics,
 		IOCost:   cost,
+		// Workers never touch the main queue directly — all pushes
+		// and pops happen on the coordinating goroutine between
+		// expansion barriers — but parallel runs still enable the
+		// queue's internal lock as defense in depth.
+		Concurrent: ctx.par != nil,
 	})
 	return ctx, nil
 }
@@ -258,13 +321,7 @@ func (c *execContext) push(p hybridq.Pair) bool {
 // with the refiner's exact distance (clamped to be no smaller) and
 // marks it refined. The call is counted as a refinement computation.
 func (c *execContext) refine(p hybridq.Pair) hybridq.Pair {
-	d := c.refiner(int64(p.Left), int64(p.Right), p.LeftRect, p.RightRect)
-	c.mc.AddRefinement(1)
-	if d > p.Dist {
-		p.Dist = d
-	}
-	p.Refined = true
-	return p
+	return c.ex.refine(p)
 }
 
 // needsRefinement reports whether a dequeued result pair must go back
@@ -288,38 +345,51 @@ func pairResult(p hybridq.Pair) Result {
 // the node's children for node sides (reading the node and recording
 // the access), or the object itself as a singleton list. childIsObj
 // reports whether the returned entries are objects.
-func (c *execContext) sideEntries(tree *rtree.Tree, ref uint64, isObj bool, rect geom.Rect) (entries []rtree.NodeEntry, childIsObj bool, err error) {
+func (e *expander) sideEntries(tree *rtree.Tree, ref uint64, isObj bool, rect geom.Rect) (entries []rtree.NodeEntry, childIsObj bool, err error) {
 	if isObj {
 		return []rtree.NodeEntry{{Rect: rect, Ref: ref}}, true, nil
 	}
-	// Decode into the per-query scratch node (its entry buffer is
+	// Decode into the per-expander scratch node (its entry buffer is
 	// reused across reads), then copy out: the sweep sorts and retains
 	// the entries past the next read.
-	if err := tree.ReadNode(refPage(ref), &c.scratch, c.mc); err != nil {
+	if err := tree.ReadNode(refPage(ref), &e.scratch, e.mc); err != nil {
 		return nil, false, err
 	}
-	entries = make([]rtree.NodeEntry, len(c.scratch.Entries))
-	copy(entries, c.scratch.Entries)
-	if !c.scratch.IsLeaf() {
+	entries = make([]rtree.NodeEntry, len(e.scratch.Entries))
+	copy(entries, e.scratch.Entries)
+	if !e.scratch.IsLeaf() {
 		// Stamp child levels into the refs.
 		for i := range entries {
-			entries[i].Ref = nodeRef(storage.PageID(entries[i].Ref), c.scratch.Level-1)
+			entries[i].Ref = nodeRef(storage.PageID(entries[i].Ref), e.scratch.Level-1)
 		}
 	}
-	return entries, c.scratch.IsLeaf(), nil
+	return entries, e.scratch.IsLeaf(), nil
 }
 
 // maxDist computes the maximum distance between two rects, counted as
 // a real distance computation.
-func (c *execContext) maxDist(a, b geom.Rect) float64 {
-	c.mc.AddRealDist(1)
+func (e *expander) maxDist(a, b geom.Rect) float64 {
+	e.mc.AddRealDist(1)
 	return a.MaxDist(b)
 }
 
 // minDist computes the minimum distance, counted.
-func (c *execContext) minDist(a, b geom.Rect) float64 {
-	c.mc.AddRealDist(1)
+func (e *expander) minDist(a, b geom.Rect) float64 {
+	e.mc.AddRealDist(1)
 	return a.MinDist(b)
+}
+
+// refine replaces an <object,object> pair's MBR lower-bound distance
+// with the refiner's exact distance (clamped to be no smaller) and
+// marks it refined, accounting the call to this expander's collector.
+func (e *expander) refine(p hybridq.Pair) hybridq.Pair {
+	d := e.c.refiner(int64(p.Left), int64(p.Right), p.LeftRect, p.RightRect)
+	e.mc.AddRefinement(1)
+	if d > p.Dist {
+		p.Dist = d
+	}
+	p.Refined = true
+	return p
 }
 
 // cancelEvery bounds how many pops happen between cancellation polls.

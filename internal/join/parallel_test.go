@@ -1,0 +1,269 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"distjoin/internal/datagen"
+	"distjoin/internal/geom"
+	"distjoin/internal/metrics"
+)
+
+// requireSameResults asserts got is identical to want — same pairs, in
+// the same order, with bitwise-equal distances. Parallel execution
+// promises exact equivalence with the serial path, not merely
+// distance-multiset equivalence.
+func requireSameResults(t *testing.T, name string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: result %d differs:\n  got  %+v\n  want %+v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// midpointRefiner is a deterministic exact-distance refiner within the
+// MBR min/max contract, safe for concurrent use (pure function).
+func midpointRefiner(leftObj, rightObj int64, l, r geom.Rect) float64 {
+	return (l.MinDist(r) + l.MaxDist(r)) / 2
+}
+
+func TestParallelKDJMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7701))
+	for wname, sets := range testWorkloads(rng) {
+		left := buildTree(t, sets[0], 8)
+		right := buildTree(t, sets[1], 8)
+		for _, k := range []int{1, 25, 157, 100000} {
+			algos := map[string]func(Options) ([]Result, error){
+				"B-KDJ":  func(o Options) ([]Result, error) { return BKDJ(left, right, k, o) },
+				"AM-KDJ": func(o Options) ([]Result, error) { return AMKDJ(left, right, k, o) },
+			}
+			for aname, f := range algos {
+				serial, err := f(Options{})
+				if err != nil {
+					t.Fatalf("%s/%s k=%d serial: %v", wname, aname, k, err)
+				}
+				for _, par := range []int{2, 8} {
+					got, err := f(Options{Parallelism: par})
+					if err != nil {
+						t.Fatalf("%s/%s k=%d par=%d: %v", wname, aname, k, par, err)
+					}
+					requireSameResults(t, wname+"/"+aname, got, serial)
+					checkAgainstBrute(t, wname+"/"+aname, got, sets[0], sets[1], k)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelKDJWithRefiner(t *testing.T) {
+	rng := rand.New(rand.NewSource(7702))
+	w := geom.NewRect(0, 0, 1000, 1000)
+	l := datagen.Uniform(rng.Int63(), 300, w, 12)
+	r := datagen.Uniform(rng.Int63(), 250, w, 12)
+	left, right := buildTree(t, l, 8), buildTree(t, r, 8)
+	for _, algo := range []struct {
+		name string
+		f    func(Options) ([]Result, error)
+	}{
+		{"B-KDJ", func(o Options) ([]Result, error) { return BKDJ(left, right, 80, o) }},
+		{"AM-KDJ", func(o Options) ([]Result, error) { return AMKDJ(left, right, 80, o) }},
+	} {
+		serial, err := algo.f(Options{Refiner: midpointRefiner})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 8} {
+			got, err := algo.f(Options{Refiner: midpointRefiner, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResults(t, algo.name+"/refined", got, serial)
+		}
+	}
+}
+
+func TestParallelSelfJoinMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7703))
+	w := geom.NewRect(0, 0, 1000, 1000)
+	items := datagen.Uniform(rng.Int63(), 400, w, 10)
+	tree := buildTree(t, items, 8)
+	serial, err := AMKDJ(tree, tree, 120, Options{SelfJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8} {
+		got, err := AMKDJ(tree, tree, 120, Options{SelfJoin: true, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResults(t, "self-join", got, serial)
+	}
+}
+
+func TestParallelAMIDJMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7704))
+	for wname, sets := range testWorkloads(rng) {
+		left := buildTree(t, sets[0], 8)
+		right := buildTree(t, sets[1], 8)
+		pull := func(o Options, n int) []Result {
+			t.Helper()
+			it, err := AMIDJ(left, right, o)
+			if err != nil {
+				t.Fatalf("%s: %v", wname, err)
+			}
+			var rs []Result
+			for len(rs) < n {
+				r, ok := it.Next()
+				if !ok {
+					break
+				}
+				rs = append(rs, r)
+			}
+			if err := it.Err(); err != nil {
+				t.Fatalf("%s: %v", wname, err)
+			}
+			return rs
+		}
+		// Small BatchK forces several compensation stages, exercising
+		// the band re-examination path under the pool.
+		serial := pull(Options{BatchK: 32}, 500)
+		for _, par := range []int{2, 8} {
+			got := pull(Options{BatchK: 32, Parallelism: par}, 500)
+			requireSameResults(t, wname+"/AM-IDJ", got, serial)
+		}
+	}
+}
+
+func TestParallelAMIDJWithRefiner(t *testing.T) {
+	rng := rand.New(rand.NewSource(7705))
+	w := geom.NewRect(0, 0, 1000, 1000)
+	l := datagen.Uniform(rng.Int63(), 250, w, 12)
+	r := datagen.Uniform(rng.Int63(), 250, w, 12)
+	left, right := buildTree(t, l, 8), buildTree(t, r, 8)
+	pull := func(o Options, n int) []Result {
+		t.Helper()
+		it, err := AMIDJ(left, right, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rs []Result
+		for len(rs) < n {
+			res, ok := it.Next()
+			if !ok {
+				break
+			}
+			rs = append(rs, res)
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	serial := pull(Options{BatchK: 16, Refiner: midpointRefiner}, 300)
+	for _, par := range []int{2, 8} {
+		got := pull(Options{BatchK: 16, Refiner: midpointRefiner, Parallelism: par}, 300)
+		requireSameResults(t, "AM-IDJ/refined", got, serial)
+	}
+}
+
+// TestParallelEDmaxExtremes replays the DESIGN.md invariant — AM-KDJ
+// must be correct for ANY eDmax estimate — through the parallel path,
+// covering both the all-compensation and no-compensation regimes.
+func TestParallelEDmaxExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7706))
+	w := geom.NewRect(0, 0, 1000, 1000)
+	l := datagen.Uniform(rng.Int63(), 300, w, 10)
+	r := datagen.Uniform(rng.Int63(), 250, w, 10)
+	left, right := buildTree(t, l, 8), buildTree(t, r, 8)
+	for _, eDmax := range []float64{1e-12, 0.5, 50, 1e6} {
+		serial, err := AMKDJ(left, right, 100, Options{EDmax: eDmax})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 8} {
+			got, err := AMKDJ(left, right, 100, Options{EDmax: eDmax, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResults(t, "AM-KDJ/eDmax", got, serial)
+			checkAgainstBrute(t, "AM-KDJ/eDmax", got, l, r, 100)
+		}
+	}
+}
+
+// TestParallelMetricsSane checks that a parallel run accounts its work:
+// the counters the algorithms rely on for reporting must be non-zero
+// and the distance-computation count must be at least the serial one
+// (frozen cutoffs only ever admit more work, never less).
+func TestParallelMetricsSane(t *testing.T) {
+	rng := rand.New(rand.NewSource(7707))
+	w := geom.NewRect(0, 0, 1000, 1000)
+	l := datagen.Uniform(rng.Int63(), 400, w, 10)
+	r := datagen.Uniform(rng.Int63(), 400, w, 10)
+	left, right := buildTree(t, l, 8), buildTree(t, r, 8)
+
+	var serial, par metrics.Collector
+	if _, err := AMKDJ(left, right, 200, Options{Metrics: &serial}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AMKDJ(left, right, 200, Options{Metrics: &par, Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if par.RealDistCalcs == 0 || par.NodeAccessesLogical == 0 || par.MainQueueInserts == 0 {
+		t.Fatalf("parallel run left counters empty: %+v", par)
+	}
+	if par.ResultsProduced != serial.ResultsProduced {
+		t.Fatalf("results produced: parallel %d, serial %d", par.ResultsProduced, serial.ResultsProduced)
+	}
+	if par.RealDistCalcs < serial.RealDistCalcs {
+		t.Fatalf("parallel did less distance work (%d) than serial (%d): frozen cutoffs cannot prune more",
+			par.RealDistCalcs, serial.RealDistCalcs)
+	}
+}
+
+// TestWorkersResolution pins the Parallelism semantics: zero value is
+// serial, negatives mean auto, large values clamp.
+func TestWorkersResolution(t *testing.T) {
+	cases := []struct {
+		in   int
+		want int
+	}{
+		{0, 1},
+		{1, 1},
+		{5, 5},
+		{MaxParallelism + 100, MaxParallelism},
+	}
+	for _, c := range cases {
+		if got := (Options{Parallelism: c.in}).workers(); got != c.want {
+			t.Errorf("workers(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if got := (Options{Parallelism: AutoParallelism}).workers(); got < 1 {
+		t.Errorf("workers(auto) = %d, want >= 1", got)
+	}
+}
+
+// TestParallelLargeK drives the queue into disk segments with a big k
+// and tiny memory so batching interacts with hybrid-queue swap-ins.
+func TestParallelLargeK(t *testing.T) {
+	rng := rand.New(rand.NewSource(7708))
+	w := geom.NewRect(0, 0, 1000, 1000)
+	l := datagen.Uniform(rng.Int63(), 500, w, 15)
+	r := datagen.Uniform(rng.Int63(), 500, w, 15)
+	left, right := buildTree(t, l, 8), buildTree(t, r, 8)
+	const k = 5000
+	serial, err := AMKDJ(left, right, k, Options{QueueMemBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AMKDJ(left, right, k, Options{QueueMemBytes: 4096, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, "large-k", got, serial)
+	checkAgainstBrute(t, "large-k", got, l, r, k)
+}

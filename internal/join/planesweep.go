@@ -38,7 +38,7 @@ type sweepRanges struct {
 // non-nil those ranges are revisited through it first (the AM-IDJ band
 // case, where the real-distance cutoff has grown between stages).
 type sweepRun struct {
-	c          *execContext
+	e          *expander
 	L, R       []rtree.NodeEntry
 	lObj, rObj bool // whether L / R entries are objects
 	plan       sweep.Plan
@@ -122,7 +122,7 @@ func (s *sweepRun) sweepAnchor(fromL bool, ai, oj int) {
 
 	stop := start
 	for m := start; m < len(others); m++ {
-		s.c.mc.AddAxisDist(1)
+		s.e.mc.AddAxisDist(1)
 		if sweep.AxisGap(anchor.Rect, others[m].Rect, s.plan.Axis, s.plan.Dir) > s.axisCutoff() {
 			break
 		}
@@ -152,7 +152,7 @@ func (s *sweepRun) dispatch(anchorFromL bool, anchor, other rtree.NodeEntry, fn 
 	} else {
 		le, re = other, anchor
 	}
-	d := s.c.minDist(le.Rect, re.Rect)
+	d := s.e.minDist(le.Rect, re.Rect)
 	fn(le, re, d)
 }
 
@@ -172,35 +172,37 @@ func (s *sweepRun) childPair(le, re rtree.NodeEntry, d float64) hybridq.Pair {
 // expansion materializes both sides of a pair for sweeping: the child
 // entries, their kind, and the sweep plan (per-pair axis and direction
 // selection of §3.2/§3.3, or the fixed policy for the ablation).
-func (c *execContext) expansion(p hybridq.Pair, cutoff float64) (*sweepRun, error) {
-	L, lObj, err := c.sideEntries(c.left, p.Left, p.LeftObj, p.LeftRect)
+func (e *expander) expansion(p hybridq.Pair, cutoff float64) (*sweepRun, error) {
+	c := e.c
+	L, lObj, err := e.sideEntries(c.left, p.Left, p.LeftObj, p.LeftRect)
 	if err != nil {
 		return nil, err
 	}
-	R, rObj, err := c.sideEntries(c.right, p.Right, p.RightObj, p.RightRect)
+	R, rObj, err := e.sideEntries(c.right, p.Right, p.RightObj, p.RightRect)
 	if err != nil {
 		return nil, err
 	}
 	plan := c.choosePlan(p, cutoff)
 	sweep.SortEntries(L, plan)
 	sweep.SortEntries(R, plan)
-	return &sweepRun{c: c, L: L, R: R, lObj: lObj, rObj: rObj, plan: plan}, nil
+	return &sweepRun{e: e, L: L, R: R, lObj: lObj, rObj: rObj, plan: plan}, nil
 }
 
 // expansionWithPlan is expansion with a predetermined plan, used by the
 // compensation stage to reproduce the stage-one sweep order exactly.
-func (c *execContext) expansionWithPlan(p hybridq.Pair, plan sweep.Plan) (*sweepRun, error) {
-	L, lObj, err := c.sideEntries(c.left, p.Left, p.LeftObj, p.LeftRect)
+func (e *expander) expansionWithPlan(p hybridq.Pair, plan sweep.Plan) (*sweepRun, error) {
+	c := e.c
+	L, lObj, err := e.sideEntries(c.left, p.Left, p.LeftObj, p.LeftRect)
 	if err != nil {
 		return nil, err
 	}
-	R, rObj, err := c.sideEntries(c.right, p.Right, p.RightObj, p.RightRect)
+	R, rObj, err := e.sideEntries(c.right, p.Right, p.RightObj, p.RightRect)
 	if err != nil {
 		return nil, err
 	}
 	sweep.SortEntries(L, plan)
 	sweep.SortEntries(R, plan)
-	return &sweepRun{c: c, L: L, R: R, lObj: lObj, rObj: rObj, plan: plan}, nil
+	return &sweepRun{e: e, L: L, R: R, lObj: lObj, rObj: rObj, plan: plan}, nil
 }
 
 // choosePlan applies the sweep policy.

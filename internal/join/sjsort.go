@@ -46,7 +46,7 @@ func SJSort(left, right *rtree.Tree, k int, dmax float64, opts Options) ([]Resul
 		if p.Dist > dmax {
 			continue
 		}
-		run, err := c.expansion(p, dmax)
+		run, err := c.ex.expansion(p, dmax)
 		if err != nil {
 			return nil, err
 		}

@@ -41,7 +41,7 @@ func WithinJoin(left, right *rtree.Tree, maxDist float64, opts Options, fn func(
 		if p.Dist > maxDist {
 			continue
 		}
-		run, err := c.expansion(p, maxDist)
+		run, err := c.ex.expansion(p, maxDist)
 		if err != nil {
 			return err
 		}

@@ -54,6 +54,11 @@ func (m IOCostModel) SequentialPageCost() time.Duration {
 // value is ready to use. A nil *Collector is also safe: every method
 // becomes a no-op, so library code can thread an optional collector
 // without nil checks at each call site.
+//
+// A Collector is not safe for concurrent mutation. Parallel query
+// execution gives each worker goroutine its own shard (see Shards) and
+// merges the shards into the query's collector at synchronization
+// points, so the plain int64 fields never race.
 type Collector struct {
 	// RealDistCalcs counts real (Euclidean MBR) distance computations.
 	RealDistCalcs int64

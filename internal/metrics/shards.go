@@ -1,0 +1,63 @@
+package metrics
+
+// Shards is a set of per-worker Collectors backing a parallel query
+// run. The Collector's counters are plain int64 fields — cheap to
+// bump on the hot path but unsafe to mutate concurrently — so a
+// parallel execution hands each worker goroutine its own shard and
+// folds the shards into the query's collector at a synchronization
+// point (MergeInto). Shard(i) must only be mutated by worker i, and
+// MergeInto must only run while no worker is active; both invariants
+// are established by the caller's barriers, which also provide the
+// happens-before edges that make the plain field accesses race-free.
+type Shards struct {
+	shards []Collector
+}
+
+// NewShards returns n zeroed shard collectors (n >= 1).
+func NewShards(n int) *Shards {
+	if n < 1 {
+		n = 1
+	}
+	return &Shards{shards: make([]Collector, n)}
+}
+
+// Len returns the number of shards.
+func (s *Shards) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.shards)
+}
+
+// Shard returns the i-th shard collector. The returned pointer is
+// stable for the lifetime of the Shards.
+func (s *Shards) Shard(i int) *Collector { return &s.shards[i] }
+
+// MergeInto folds every shard's counters into dst (which may be nil)
+// and resets the shards for reuse in the next parallel phase. Shards
+// never Start/Finish, so no wall time is transferred.
+func (s *Shards) MergeInto(dst *Collector) {
+	if s == nil {
+		return
+	}
+	for i := range s.shards {
+		if (&s.shards[i]).isZero() {
+			continue
+		}
+		dst.Add(&s.shards[i])
+		s.shards[i].Reset()
+	}
+}
+
+// isZero reports whether no counter has been touched, letting
+// MergeInto skip idle workers' shards.
+func (c *Collector) isZero() bool {
+	return c.RealDistCalcs == 0 && c.AxisDistCalcs == 0 &&
+		c.RefinementCalcs == 0 && c.MainQueueInserts == 0 &&
+		c.DistQueueInserts == 0 && c.CompQueueInserts == 0 &&
+		c.NodeAccessesLogical == 0 && c.NodeAccessesPhysical == 0 &&
+		c.QueuePageReads == 0 && c.QueuePageWrites == 0 &&
+		c.SortPageReads == 0 && c.SortPageWrites == 0 &&
+		c.MainQueuePeak == 0 && c.ResultsProduced == 0 &&
+		c.CompensationStages == 0 && c.ModeledIOTime == 0
+}

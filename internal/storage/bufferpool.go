@@ -14,6 +14,16 @@ import (
 // The pool is write-back: dirty frames are flushed when evicted or on
 // Flush. Get reports whether the access was a buffer hit, so callers
 // can attribute logical vs physical node accesses (Table 2).
+//
+// Concurrency: all operations are serialized on an internal mutex, so
+// the pool may be shared by multiple goroutines. For read-only
+// workloads (Get without Put — how the join algorithms use R-tree
+// pools, including parallel expansion workers) the slices Get returns
+// stay valid and immutable even across later pool operations: frame
+// contents are only ever rewritten by Put, and eviction merely drops
+// the pool's reference. Mixed Get/Put use from multiple goroutines
+// must instead copy under the caller's own coordination, per Get's
+// aliasing contract.
 type BufferPool struct {
 	mu     sync.Mutex
 	store  Store
