@@ -12,13 +12,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Fail if any file needs gofmt.
+# Fail if any file needs gofmt; run staticcheck when available (CI
+# installs it — see .github/workflows/ci.yml — so a missing local
+# binary degrades to a note instead of a hard dependency).
 lint: vet
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; \
 		echo "$$out" >&2; \
 		exit 1; \
+	fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "note: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
 	fi
 
 test:

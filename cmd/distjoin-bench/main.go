@@ -13,30 +13,55 @@
 // scale=1.0 reproduces the paper's full data sizes (633,461 streets x
 // 189,642 hydrographic objects, k up to 100,000); the default 0.05
 // keeps the k/N ratios while finishing in minutes.
+//
+// Observability flags:
+//
+//	-trace out.json      run one traced AM-KDJ query (instead of -exp)
+//	                     and write its stage events as JSON
+//	-metrics-format f    with -trace: print the query's counters to
+//	                     stdout as "json" or "prom" (Prometheus text)
+//	-pprof addr          serve net/http/pprof on addr for the run
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 
 	"distjoin/internal/experiments"
 	"distjoin/internal/join"
+	"distjoin/internal/metrics"
+	"distjoin/internal/trace"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (all, fig10, table2, fig11, fig12, fig13, fig14, fig15, ablation-sweep, ablation-dq, ablation-correction, ablation-queue, ablation-estimator, ablation-split, queue-sizes)")
-		scale    = flag.Float64("scale", 0.05, "workload scale relative to the paper's data sizes")
-		seed     = flag.Int64("seed", 0, "data generator seed (0 = default)")
-		queueMem = flag.Int("queue-mem", 0, "in-memory main queue bytes (0 = paper's 512 KB)")
-		buffer   = flag.Int("buffer", 0, "R-tree buffer pool bytes (0 = paper's 512 KB)")
-		parallel = flag.Int("parallel", 1, "expansion workers per query: 1 = serial (paper-exact), n > 1 = n workers, 0 = one per CPU")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		svgDir   = flag.String("svg", "", "also write one SVG line chart per chartable table into this directory")
+		exp       = flag.String("exp", "all", "experiment id (all, fig10, table2, fig11, fig12, fig13, fig14, fig15, ablation-sweep, ablation-dq, ablation-correction, ablation-queue, ablation-estimator, ablation-split, queue-sizes)")
+		scale     = flag.Float64("scale", 0.05, "workload scale relative to the paper's data sizes")
+		seed      = flag.Int64("seed", 0, "data generator seed (0 = default)")
+		queueMem  = flag.Int("queue-mem", 0, "in-memory main queue bytes (0 = paper's 512 KB)")
+		buffer    = flag.Int("buffer", 0, "R-tree buffer pool bytes (0 = paper's 512 KB)")
+		parallel  = flag.Int("parallel", 1, "expansion workers per query: 1 = serial (paper-exact), n > 1 = n workers, 0 = one per CPU")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		svgDir    = flag.String("svg", "", "also write one SVG line chart per chartable table into this directory")
+		tracePath = flag.String("trace", "", "run one traced AM-KDJ query (instead of -exp) and write its stage events as JSON to this file")
+		traceK    = flag.Int("trace-k", 1000, "stopping cardinality k of the traced query")
+		mFormat   = flag.String("metrics-format", "", "with -trace: print the traced query's metrics to stdout as \"json\" or \"prom\"")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "distjoin-bench: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	cfg := experiments.Config{
 		Scale:         *scale,
@@ -47,6 +72,19 @@ func main() {
 	}
 	if *parallel == 0 {
 		cfg.Parallelism = join.AutoParallelism
+	}
+
+	if *mFormat != "" && *mFormat != "json" && *mFormat != "prom" {
+		fmt.Fprintf(os.Stderr, "distjoin-bench: -metrics-format must be \"json\" or \"prom\", got %q\n", *mFormat)
+		os.Exit(1)
+	}
+
+	if *tracePath != "" {
+		if err := runTraced(cfg, *traceK, *tracePath, *mFormat); err != nil {
+			fmt.Fprintf(os.Stderr, "distjoin-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	tabs, err := run(*exp, cfg)
@@ -96,6 +134,91 @@ func writeSVGs(dir string, tabs []*experiments.Table) error {
 		fmt.Printf("wrote %s\n", path)
 	}
 	return nil
+}
+
+// traceCapacity bounds the traced query's event ring. Large enough
+// that the stage markers of a -trace-k sized run are never overwritten
+// by later expansion events (~13 MB at ~200 bytes/event).
+const traceCapacity = 1 << 16
+
+// runTraced executes one AM-KDJ query on the standard workload with a
+// tracer installed and writes the event time line as JSON to path. The
+// queue memory is deliberately small so the hybrid queue's spill/
+// reload machinery fires, and the query runs twice when needed: once
+// with the estimated eDmax and — if that run never left the aggressive
+// stage — once more with a forced underestimate (half the true k-th
+// pair distance), which guarantees a compensation pass appears in the
+// trace. With -metrics-format the final run's counters go to stdout.
+func runTraced(cfg experiments.Config, k int, path, metricsFormat string) error {
+	if k <= 0 {
+		return fmt.Errorf("-trace-k must be positive, got %d", k)
+	}
+	w, err := experiments.Load(cfg)
+	if err != nil {
+		return err
+	}
+	tr := trace.New(traceCapacity)
+	// Small queue memory: at -trace-k scale the main queue overflows
+	// its heap bound and exercises splitHeap/swapIn, so the trace
+	// contains queue_spill (and usually queue_reload) events.
+	opts := join.Options{Trace: tr, QueueMemBytes: 4096}
+	res, err := runTracedKDJ(w, k, opts)
+	if err != nil {
+		return err
+	}
+	if tr.CountKind(trace.KindCompensation) == 0 && len(res.pairs) > 0 {
+		// The estimate covered k outright. Re-run with a guaranteed
+		// underestimate: fewer than k pairs lie within half the true
+		// k-th distance, so the aggressive stage must fall short and
+		// the compensation stage must run.
+		if dk := res.pairs[len(res.pairs)-1].Dist; dk > 0 {
+			tr.Reset()
+			opts.EDmax = dk / 2
+			if res, err = runTracedKDJ(w, k, opts); err != nil {
+				return err
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tr.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d trace events (%d dropped) to %s\n", tr.Len(), tr.Dropped(), path)
+	switch metricsFormat {
+	case "json":
+		return trace.WriteMetricsJSON(os.Stdout, res.mc)
+	case "prom":
+		return trace.WriteMetricsProm(os.Stdout, res.mc)
+	}
+	return nil
+}
+
+// tracedRun carries one traced query's outputs.
+type tracedRun struct {
+	pairs []join.Result
+	mc    *metrics.Collector
+}
+
+// runTracedKDJ runs one cold AM-KDJ query with opts and returns its
+// results and counters.
+func runTracedKDJ(w *experiments.Workload, k int, opts join.Options) (tracedRun, error) {
+	if err := w.ColdStart(); err != nil {
+		return tracedRun{}, err
+	}
+	mc := &metrics.Collector{}
+	opts.Metrics = mc
+	pairs, err := join.AMKDJ(w.Streets, w.Hydro, k, opts)
+	if err != nil {
+		return tracedRun{}, err
+	}
+	return tracedRun{pairs: pairs, mc: mc}, nil
 }
 
 func run(exp string, cfg experiments.Config) ([]*experiments.Table, error) {

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"distjoin/internal/experiments"
+	"distjoin/internal/trace"
 )
 
 func TestRunDispatch(t *testing.T) {
@@ -25,6 +29,42 @@ func TestRunDispatch(t *testing.T) {
 	}
 	if _, err := run("nope", cfg); err == nil {
 		t.Fatal("unknown experiment must error")
+	}
+}
+
+// TestRunTraced drives the -trace mode end to end: the written file
+// must be valid JSON and contain expansion, queue-spill, and
+// compensation events (the acceptance shape of the observability PR).
+func TestRunTraced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	cfg := experiments.Config{Scale: 0.01, Seed: 5}
+	if err := runTraced(cfg, 200, path, ""); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Dropped uint64        `json:"dropped"`
+		Events  []trace.Event `json:"events"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	counts := map[trace.Kind]int{}
+	for _, ev := range dump.Events {
+		counts[ev.Kind]++
+	}
+	for _, want := range []trace.Kind{trace.KindExpansion, trace.KindQueueSpill, trace.KindCompensation} {
+		if counts[want] == 0 {
+			t.Errorf("trace contains no %q events (got %v)", want, counts)
+		}
+	}
+	for i := 1; i < len(dump.Events); i++ {
+		if dump.Events[i].Seq <= dump.Events[i-1].Seq {
+			t.Fatalf("event %d out of sequence: %d after %d", i, dump.Events[i].Seq, dump.Events[i-1].Seq)
+		}
 	}
 }
 

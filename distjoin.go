@@ -30,6 +30,8 @@ package distjoin
 import (
 	"context"
 	"fmt"
+	"io"
+	"math"
 
 	"distjoin/internal/estimate"
 	"distjoin/internal/geom"
@@ -37,6 +39,7 @@ import (
 	"distjoin/internal/metrics"
 	"distjoin/internal/rtree"
 	"distjoin/internal/storage"
+	"distjoin/internal/trace"
 )
 
 // Rect is an axis-aligned rectangle (minimum bounding rectangle).
@@ -77,8 +80,38 @@ type Pair struct {
 
 // Stats exposes the per-query performance counters of the paper's
 // evaluation: distance computations, queue insertions, R-tree node
-// accesses, and modeled I/O time.
+// accesses, buffer pool activity, and modeled I/O time.
 type Stats = metrics.Collector
+
+// Tracer records structured per-query stage events — node-pair
+// expansions, aggressive/compensation stage transitions with the
+// active eDmax, hybrid-queue spills and reloads, eDmax re-estimations,
+// parallel batch barriers, and errors — into a bounded ring buffer.
+// Install one via Options.Trace; a nil tracer is a zero-cost no-op.
+// See NewTracer and the docs/observability.md event schema.
+type Tracer = trace.Tracer
+
+// TraceEvent is one structured event recorded by a Tracer.
+type TraceEvent = trace.Event
+
+// DefaultTraceCapacity is the event capacity NewTracer uses when given
+// a non-positive value.
+const DefaultTraceCapacity = trace.DefaultCapacity
+
+// NewTracer returns a Tracer retaining the most recent capacity events
+// (capacity <= 0 selects DefaultTraceCapacity). Once full, the oldest
+// events are overwritten and counted in Dropped().
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// WriteStatsJSON writes a Stats snapshot as one JSON object: every
+// counter by name plus the derived totals (DistCalcs, QueueInserts,
+// BufferHitRatio, ResponseTime). A nil stats writes all zeros.
+func WriteStatsJSON(w io.Writer, s *Stats) error { return trace.WriteMetricsJSON(w, s) }
+
+// WriteStatsProm writes a Stats snapshot in Prometheus text exposition
+// format under the "distjoin_" namespace, suitable for a textfile
+// collector or a scrape handler. A nil stats writes all zeros.
+func WriteStatsProm(w io.Writer, s *Stats) error { return trace.WriteMetricsProm(w, s) }
 
 // Estimator predicts the distance of the k-th nearest pair, steering
 // the adaptive multi-stage algorithms' pruning. The default is the
@@ -177,6 +210,11 @@ type Options struct {
 	// BKDJ and to IncrementalJoin with AMKDJ (AM-IDJ); the baselines
 	// and the ancillary joins always run serially.
 	Parallelism int
+	// Trace, when non-nil, receives structured stage events for the
+	// query (see Tracer). Tracing never perturbs results — parallel
+	// traced runs return exactly the pairs serial runs return — and a
+	// nil tracer adds no allocations to the query hot path.
+	Trace *Tracer
 }
 
 // AutoParallelism, assigned to Options.Parallelism, sizes the worker
@@ -197,6 +235,7 @@ func (o *Options) joinOptions() join.Options {
 		SelfJoin:      o.SelfJoin,
 		Context:       o.Context,
 		Parallelism:   o.Parallelism,
+		Trace:         o.Trace,
 	}
 	if o.DisableSweepOptimization {
 		sp := join.FixedSweep
@@ -338,9 +377,27 @@ func NewHistogramEstimator(left, right *Index, grid int) (Estimator, error) {
 	return join.NewHistogramEstimator(left.tree, right.tree, grid)
 }
 
+// requireIndexes validates the index arguments of the public join
+// entry points, returning a clear error instead of a nil-pointer panic.
+func requireIndexes(op string, idxs ...*Index) error {
+	for _, idx := range idxs {
+		if idx == nil || idx.tree == nil {
+			return fmt.Errorf("distjoin: %s requires non-nil indexes", op)
+		}
+	}
+	return nil
+}
+
 // KDistanceJoin returns the k nearest (left, right) object pairs in
-// nondecreasing distance order.
+// nondecreasing distance order. Both indexes must be non-nil and k
+// must be positive.
 func KDistanceJoin(left, right *Index, k int, opts *Options) ([]Pair, error) {
+	if err := requireIndexes("KDistanceJoin", left, right); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("distjoin: KDistanceJoin requires k > 0, got %d", k)
+	}
 	jo := opts.joinOptions()
 	algo := AMKDJ
 	if opts != nil {
@@ -396,6 +453,9 @@ func (it *Iterator) Err() error { return it.err() }
 // iterator. Algorithm AMKDJ selects AM-IDJ (default); HSKDJ selects
 // the HS-IDJ baseline.
 func IncrementalJoin(left, right *Index, opts *Options) (*Iterator, error) {
+	if err := requireIndexes("IncrementalJoin", left, right); err != nil {
+		return nil, err
+	}
 	jo := opts.joinOptions()
 	algo := AMKDJ
 	if opts != nil {
@@ -465,9 +525,20 @@ func KClosestPairs(idx *Index, k int, opts *Options) ([]Pair, error) {
 // WithinJoin streams every (left, right) pair within maxDist to fn in
 // no particular order — the spatial join with a within predicate.
 // Returning false from fn stops early.
+//
+// maxDist must not be NaN: a NaN threshold makes every distance
+// comparison false and would otherwise silently change the result set.
+// A +Inf threshold is valid and streams every pair; a negative
+// threshold yields no pairs.
 func WithinJoin(left, right *Index, maxDist float64, opts *Options, fn func(Pair) bool) error {
 	if fn == nil {
 		return fmt.Errorf("distjoin: WithinJoin requires a callback")
+	}
+	if err := requireIndexes("WithinJoin", left, right); err != nil {
+		return err
+	}
+	if math.IsNaN(maxDist) {
+		return fmt.Errorf("distjoin: WithinJoin maxDist must not be NaN")
 	}
 	return join.WithinJoin(left.tree, right.tree, maxDist, opts.joinOptions(), func(r join.Result) bool {
 		return fn(convertResult(r))
@@ -481,6 +552,9 @@ func AllNearest(left, right *Index, opts *Options, fn func(Pair) bool) error {
 	if fn == nil {
 		return fmt.Errorf("distjoin: AllNearest requires a callback")
 	}
+	if err := requireIndexes("AllNearest", left, right); err != nil {
+		return err
+	}
 	return join.AllNearest(left.tree, right.tree, opts.joinOptions(), func(r join.Result) bool {
 		return fn(convertResult(r))
 	})
@@ -493,6 +567,12 @@ func AllNearest(left, right *Index, opts *Options, fn func(Pair) bool) error {
 func KNNJoin(left, right *Index, k int, opts *Options, fn func(neighbors []Pair) bool) error {
 	if fn == nil {
 		return fmt.Errorf("distjoin: KNNJoin requires a callback")
+	}
+	if err := requireIndexes("KNNJoin", left, right); err != nil {
+		return err
+	}
+	if k <= 0 {
+		return fmt.Errorf("distjoin: KNNJoin requires k > 0, got %d", k)
 	}
 	buf := make([]Pair, 0, k)
 	return join.AllKNearest(left.tree, right.tree, k, opts.joinOptions(), func(ns []join.Result) bool {

@@ -188,6 +188,11 @@ func (w *Workload) Dmax(k int) (float64, error) {
 	return w.oracle[k-1], nil
 }
 
+// ColdStart clears both trees' buffer pools so a measured run begins
+// with cold caches — exposed for harness modes that drive the join
+// entry points directly (e.g. cmd/distjoin-bench's traced query).
+func (w *Workload) ColdStart() error { return w.coldStart() }
+
 // coldStart clears both trees' buffer pools so each measured run
 // begins with cold caches, as the paper's direct-I/O setup ensured.
 func (w *Workload) coldStart() error {

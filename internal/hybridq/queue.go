@@ -9,6 +9,7 @@ import (
 	"distjoin/internal/metrics"
 	"distjoin/internal/pqueue"
 	"distjoin/internal/storage"
+	"distjoin/internal/trace"
 )
 
 // Queue is the hybrid memory/disk main queue. It behaves as a strict
@@ -29,6 +30,7 @@ type Queue struct {
 	perPage  int
 	mc       *metrics.Collector
 	ioCost   metrics.IOCostModel
+	tr       *trace.Tracer
 	err      error
 	// splitFloor suppresses pointless re-splits: when a split finds the
 	// whole heap sharing one distance (nothing spillable without
@@ -76,6 +78,10 @@ type Config struct {
 	// operations are safe to call from multiple goroutines. The serial
 	// join algorithms leave it unset and pay nothing.
 	Concurrent bool
+	// Trace, when non-nil, receives queue_spill / queue_reload events
+	// with the memory-vs-disk segment depth at each heap split and
+	// segment swap-in. Nil costs nothing.
+	Trace *trace.Tracer
 }
 
 // New returns an empty hybrid queue.
@@ -105,6 +111,7 @@ func New(cfg Config) *Queue {
 		perPage:  st.PageSize() / RecordSize,
 		mc:       cfg.Metrics,
 		ioCost:   cfg.IOCost,
+		tr:       cfg.Trace,
 	}
 	if cfg.Concurrent {
 		q.mu = new(sync.Mutex)
@@ -128,11 +135,7 @@ func (q *Queue) Capacity() int { return q.capacity }
 // Len returns the total number of queued pairs (memory + disk).
 func (q *Queue) Len() int {
 	defer q.lock()()
-	n := q.heap.Len()
-	for _, s := range q.segs {
-		n += s.count
-	}
-	return n
+	return q.heap.Len() + q.diskLen()
 }
 
 // Empty reports whether no pairs are queued.
@@ -255,6 +258,26 @@ func (q *Queue) splitHeap() {
 	for _, p := range items[:keep] {
 		q.heap.Push(p)
 	}
+	if q.tr.Enabled() {
+		q.tr.Emit(trace.Event{
+			Kind:     trace.KindQueueSpill,
+			Dist:     bound,
+			Count:    int64(len(items) - keep),
+			MemLen:   q.heap.Len(),
+			DiskLen:  q.diskLen(),
+			Segments: len(q.segs),
+		})
+	}
+}
+
+// diskLen returns the number of pairs currently in disk segments.
+// Callers hold the queue lock (or own the queue single-threaded).
+func (q *Queue) diskLen() int {
+	n := 0
+	for _, s := range q.segs {
+		n += s.count
+	}
+	return n
 }
 
 // spill routes p to the disk segment covering its distance, creating a
@@ -428,6 +451,16 @@ func (q *Queue) swapIn() bool {
 	for _, p := range items {
 		q.heap.Push(p)
 	}
+	if q.tr.Enabled() {
+		q.tr.Emit(trace.Event{
+			Kind:     trace.KindQueueReload,
+			Dist:     seg.lo,
+			Count:    int64(len(items)),
+			MemLen:   q.heap.Len(),
+			DiskLen:  q.diskLen(),
+			Segments: len(q.segs),
+		})
+	}
 	return len(items) > 0 || q.swapIn()
 }
 
@@ -446,10 +479,7 @@ func (q *Queue) Drain() {
 // String summarizes the queue state for diagnostics.
 func (q *Queue) String() string {
 	defer q.lock()()
-	n := q.heap.Len()
-	for _, s := range q.segs {
-		n += s.count
-	}
+	n := q.heap.Len() + q.diskLen()
 	return fmt.Sprintf("hybridq{mem=%d/%d bound=%g segs=%d total=%d}",
 		q.heap.Len(), q.capacity, q.memBound, len(q.segs), n)
 }

@@ -3,6 +3,7 @@ package join
 import (
 	"distjoin/internal/hybridq"
 	"distjoin/internal/rtree"
+	"distjoin/internal/trace"
 )
 
 // AMIDJIterator produces join results incrementally with AM-IDJ
@@ -59,6 +60,8 @@ func AMIDJ(left, right *rtree.Tree, opts Options) (*AMIDJIterator, error) {
 	if it.eDmax > it.maxd {
 		it.eDmax = it.maxd
 	}
+	c.algo = "AM-IDJ"
+	c.traceStage(trace.KindStageStart, "stage-1", it.eDmax, 0)
 	c.push(c.rootPair())
 	return it, nil
 }
@@ -86,7 +89,7 @@ func (it *AMIDJIterator) Next() (Result, bool) {
 		p, ok := it.c.queue.Pop()
 		if !ok {
 			if err := it.c.queue.Err(); err != nil {
-				it.err = err
+				it.err = it.c.traceError(err)
 				return Result{}, false
 			}
 			if !it.advanceStage() {
@@ -146,17 +149,21 @@ func (it *AMIDJIterator) expand(p hybridq.Pair) error {
 	if ci == nil {
 		run, err := c.ex.expansion(p, cur)
 		if err != nil {
-			return err
+			return c.traceError(err)
 		}
+		var children int64
 		run.axisCutoff = func() float64 { return cur }
 		run.record = true
 		run.emit = func(le, re rtree.NodeEntry, d float64) {
 			if d > cur {
 				return
 			}
-			c.push(run.childPair(le, re, d))
+			if c.push(run.childPair(le, re, d)) {
+				children++
+			}
 		}
 		run.run()
+		c.traceExpansion(p, cur, children)
 		// Once the cutoff covers the pair's own diameter, every child
 		// pair has been pushed; no compensation bookkeeping is needed.
 		if cur < p.LeftRect.MaxDist(p.RightRect) {
@@ -172,22 +179,28 @@ func (it *AMIDJIterator) expand(p hybridq.Pair) error {
 	prev := ci.examCutoff
 	run, err := c.ex.expansionWithPlan(p, ci.plan)
 	if err != nil {
-		return err
+		return c.traceError(err)
 	}
+	var children int64
 	run.prev = &ci.ranges
 	run.record = true
 	run.axisCutoff = func() float64 { return cur }
 	run.reexamine = func(le, re rtree.NodeEntry, d float64) {
 		if d > prev && d <= cur {
-			c.push(run.childPair(le, re, d))
+			if c.push(run.childPair(le, re, d)) {
+				children++
+			}
 		}
 	}
 	run.emit = func(le, re rtree.NodeEntry, d float64) {
 		if d <= cur {
-			c.push(run.childPair(le, re, d))
+			if c.push(run.childPair(le, re, d)) {
+				children++
+			}
 		}
 	}
 	run.run()
+	c.traceExpansion(p, cur, children)
 	if cur >= p.LeftRect.MaxDist(p.RightRect) {
 		// Fully covered: retire the entry so later stages stop
 		// re-seeding it (compOrder is compacted at the next advance).
@@ -229,8 +242,16 @@ func (it *AMIDJIterator) advanceStage() bool {
 	if next > it.maxd || next <= it.eDmax {
 		next = it.maxd
 	}
+	it.c.traceStage(trace.KindStageEnd, it.c.stage, it.eDmax, int64(it.produced))
 	it.eDmax = next
 	it.c.mc.AddCompensationStage()
+	if it.c.tr.Enabled() {
+		it.c.tr.Emit(trace.Event{
+			Kind: trace.KindCompensation, Algo: it.c.algo, Stage: "compensation",
+			EDmax: next, Count: int64(len(it.compOrder)),
+		})
+	}
+	it.c.stage = "compensation"
 
 	// Re-seed: push every live compensation entry; entries already
 	// examined at the exhaustive bound can never yield more pairs.

@@ -4,6 +4,7 @@ import (
 	"distjoin/internal/hybridq"
 	"distjoin/internal/rtree"
 	"distjoin/internal/sweep"
+	"distjoin/internal/trace"
 )
 
 // pairKey identifies a node pair for compensation bookkeeping.
@@ -35,6 +36,7 @@ func AMKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 	if k <= 0 || c.left.Size() == 0 || c.right.Size() == 0 {
 		return nil, nil
 	}
+	c.algo = "AM-KDJ"
 	c.mc.Start()
 	defer c.mc.Finish()
 	if c.par != nil {
@@ -46,6 +48,7 @@ func AMKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 	if eDmax <= 0 {
 		eDmax = c.est.Initial(k) // Eq. 3 (or the configured estimator)
 	}
+	c.traceStage(trace.KindStageStart, "aggressive", eDmax, 0)
 
 	results := make([]Result, 0, k)
 	var compList []*compInfo
@@ -67,6 +70,7 @@ func AMKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 		// to it; from then on eDmax tracks qDmax and AM-KDJ behaves
 		// exactly like B-KDJ.
 		if q := ct.Cutoff(); q <= eDmax {
+			c.traceEDmax(eDmax, q)
 			eDmax = q
 		}
 		// Stage-one termination (condition 3): once the dequeued pair —
@@ -101,11 +105,13 @@ func AMKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 		compMap[keyOf(p)] = ci
 		c.mc.AddCompQueueInsert(1)
 	}
+	c.traceStage(trace.KindStageEnd, "aggressive", eDmax, int64(len(results)))
 
 	// Stage two: compensation (Algorithm 3), needed only when the
 	// aggressive stage fell short (line 12).
 	if len(results) < k && c.queue.Err() == nil {
 		c.mc.AddCompensationStage()
+		c.traceStage(trace.KindCompensation, "compensation", eDmax, int64(len(compList)))
 		// Re-seed the main queue with the bookkept pairs. Their bounds
 		// are NOT re-registered with the cutoff tracker: a re-seeded
 		// pair stands only for its unexamined remainder, which may be
@@ -151,7 +157,7 @@ func AMKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 		}
 	}
 	if err := c.queue.Err(); err != nil {
-		return nil, err
+		return nil, c.traceError(err)
 	}
 	return results, nil
 }
@@ -163,8 +169,9 @@ func AMKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 func (c *execContext) amAggressiveSweep(p hybridq.Pair, eDmax float64, ct *cutoffTracker) (*compInfo, error) {
 	run, err := c.ex.expansion(p, eDmax)
 	if err != nil {
-		return nil, err
+		return nil, c.traceError(err)
 	}
+	var children int64
 	run.axisCutoff = func() float64 { return eDmax }
 	run.record = true
 	run.emit = func(le, re rtree.NodeEntry, d float64) {
@@ -174,9 +181,11 @@ func (c *execContext) amAggressiveSweep(p hybridq.Pair, eDmax float64, ct *cutof
 		np := run.childPair(le, re, d)
 		if c.push(np) {
 			ct.OnPush(np)
+			children++
 		}
 	}
 	run.run()
+	c.traceExpansion(p, eDmax, children)
 	return &compInfo{pair: p, plan: run.plan, ranges: run.out, examCutoff: eDmax}, nil
 }
 
@@ -189,8 +198,9 @@ func (c *execContext) amAggressiveSweep(p hybridq.Pair, eDmax float64, ct *cutof
 func (c *execContext) amCompensateSweep(p hybridq.Pair, ci *compInfo, ct *cutoffTracker) error {
 	run, err := c.ex.expansionWithPlan(p, ci.plan)
 	if err != nil {
-		return err
+		return c.traceError(err)
 	}
+	var children int64
 	run.prev = &ci.ranges
 	run.axisCutoff = ct.Cutoff
 	run.emit = func(le, re rtree.NodeEntry, d float64) {
@@ -200,8 +210,10 @@ func (c *execContext) amCompensateSweep(p hybridq.Pair, ci *compInfo, ct *cutoff
 		np := run.childPair(le, re, d)
 		if c.push(np) {
 			ct.OnPush(np)
+			children++
 		}
 	}
 	run.run()
+	c.traceExpansion(p, ct.Cutoff(), children)
 	return nil
 }

@@ -16,6 +16,7 @@ func BKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 	if k <= 0 || c.left.Size() == 0 || c.right.Size() == 0 {
 		return nil, nil
 	}
+	c.algo, c.stage = "B-KDJ", "sweep"
 	c.mc.Start()
 	defer c.mc.Finish()
 	if c.par != nil {
@@ -54,7 +55,7 @@ func BKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 		}
 	}
 	if err := c.queue.Err(); err != nil {
-		return nil, err
+		return nil, c.traceError(err)
 	}
 	return results, nil
 }
@@ -67,8 +68,9 @@ func BKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 func (c *execContext) bkdjPlaneSweep(p hybridq.Pair, ct *cutoffTracker) error {
 	run, err := c.ex.expansion(p, ct.Cutoff())
 	if err != nil {
-		return err
+		return c.traceError(err)
 	}
+	var children int64
 	run.axisCutoff = ct.Cutoff
 	run.emit = func(le, re rtree.NodeEntry, d float64) {
 		if d > ct.Cutoff() {
@@ -77,8 +79,10 @@ func (c *execContext) bkdjPlaneSweep(p hybridq.Pair, ct *cutoffTracker) error {
 		np := run.childPair(le, re, d)
 		if c.push(np) {
 			ct.OnPush(np)
+			children++
 		}
 	}
 	run.run()
+	c.traceExpansion(p, ct.Cutoff(), children)
 	return nil
 }

@@ -24,6 +24,7 @@ func HSKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 	if k <= 0 || c.left.Size() == 0 || c.right.Size() == 0 {
 		return nil, nil
 	}
+	c.algo, c.stage = "HS-KDJ", "expand"
 	c.mc.Start()
 	defer c.mc.Finish()
 
@@ -61,7 +62,7 @@ func HSKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 		}
 	}
 	if err := c.queue.Err(); err != nil {
-		return nil, err
+		return nil, c.traceError(err)
 	}
 	return results, nil
 }
@@ -77,8 +78,9 @@ func (c *execContext) hsExpand(p hybridq.Pair, ct *cutoffTracker) error {
 	}
 	entries, childIsObj, err := c.ex.sideEntries(tree, ref, isObj, rect)
 	if err != nil {
-		return err
+		return c.traceError(err)
 	}
+	var children int64
 	for _, e := range entries {
 		var np hybridq.Pair
 		if expandLeft {
@@ -98,10 +100,18 @@ func (c *execContext) hsExpand(p hybridq.Pair, ct *cutoffTracker) error {
 		if ct != nil && np.Dist > ct.Cutoff() {
 			continue
 		}
-		if c.push(np) && ct != nil {
-			ct.OnPush(np)
+		if c.push(np) {
+			if ct != nil {
+				ct.OnPush(np)
+			}
+			children++
 		}
 	}
+	cutoff := 0.0
+	if ct != nil {
+		cutoff = ct.Cutoff()
+	}
+	c.traceExpansion(p, cutoff, children)
 	return nil
 }
 
@@ -133,6 +143,7 @@ func HSIDJ(left, right *rtree.Tree, opts Options) (*HSIDJIterator, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.algo, c.stage = "HS-IDJ", "expand"
 	it := &HSIDJIterator{c: c}
 	if c.left.Size() == 0 || c.right.Size() == 0 {
 		it.done = true
@@ -156,7 +167,7 @@ func (it *HSIDJIterator) Next() (Result, bool) {
 		}
 		p, ok := it.c.queue.Pop()
 		if !ok {
-			it.err = it.c.queue.Err()
+			it.err = it.c.traceError(it.c.queue.Err())
 			it.done = true
 			return Result{}, false
 		}

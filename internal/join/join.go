@@ -24,6 +24,7 @@ import (
 	"distjoin/internal/metrics"
 	"distjoin/internal/rtree"
 	"distjoin/internal/storage"
+	"distjoin/internal/trace"
 )
 
 // Result is one produced pair: the two object identifiers, their MBRs,
@@ -151,6 +152,15 @@ type Options struct {
 	// (HS baselines, SJ-SORT, WithinJoin, AllNearest) ignore the
 	// field and always run serially.
 	Parallelism int
+	// Trace, when non-nil, receives structured stage events for the
+	// query: expansion rounds, aggressive-stage start/stop with the
+	// active eDmax, compensation passes, hybrid-queue spills/reloads,
+	// eDmax re-estimations, parallel batch barriers, and error
+	// events. A nil tracer is a zero-cost no-op. Under
+	// Parallelism > 1 worker events are buffered per task and merged
+	// at the batch barriers in task order, so installing a tracer
+	// never perturbs results.
+	Trace *trace.Tracer
 }
 
 // AutoParallelism requests one expansion worker per available CPU
@@ -199,6 +209,9 @@ type execContext struct {
 	cancelTick  int
 	ex          expander       // serial expansion state (scratch + main collector)
 	par         *parallelState // non-nil when Options.Parallelism resolves to > 1
+	tr          *trace.Tracer  // optional event sink (nil = no-op)
+	algo        string         // trace label: running algorithm
+	stage       string         // trace label: current stage
 }
 
 // expander carries the per-goroutine state a node expansion needs: a
@@ -245,6 +258,7 @@ func newContext(left, right *rtree.Tree, opts Options) (*execContext, error) {
 		est:         opts.Estimator,
 		refiner:     opts.Refiner,
 		opts:        opts,
+		tr:          opts.Trace,
 	}
 	if ctx.est == nil {
 		ctx.est = model
@@ -268,6 +282,7 @@ func newContext(left, right *rtree.Tree, opts Options) (*execContext, error) {
 		// expansion barriers — but parallel runs still enable the
 		// queue's internal lock as defense in depth.
 		Concurrent: ctx.par != nil,
+		Trace:      opts.Trace,
 	})
 	return ctx, nil
 }
@@ -390,6 +405,70 @@ func (e *expander) refine(p hybridq.Pair) hybridq.Pair {
 	}
 	p.Refined = true
 	return p
+}
+
+// pairLevel maps one side of a queue pair to the level recorded in
+// trace events: the node level for node sides, -1 for object sides.
+func pairLevel(ref uint64, isObj bool) int {
+	if isObj {
+		return -1
+	}
+	return refLevel(ref)
+}
+
+// expansionEvent builds the trace event for one node-pair expansion:
+// the pair's distance and levels, the cutoff active when it was
+// expanded, and how many children the expansion enqueued. It is a free
+// function so the parallel engine can build events inside worker tasks
+// (buffered per task, emitted at the barrier) without touching the
+// shared tracer.
+func expansionEvent(algo, stage string, p hybridq.Pair, eDmax float64, children int64) trace.Event {
+	return trace.Event{
+		Kind:       trace.KindExpansion,
+		Algo:       algo,
+		Stage:      stage,
+		EDmax:      eDmax,
+		Dist:       p.Dist,
+		Count:      children,
+		LeftLevel:  pairLevel(p.Left, p.LeftObj),
+		RightLevel: pairLevel(p.Right, p.RightObj),
+	}
+}
+
+// traceExpansion emits an expansion event for p on the serial path.
+func (c *execContext) traceExpansion(p hybridq.Pair, eDmax float64, children int64) {
+	if !c.tr.Enabled() {
+		return
+	}
+	c.tr.Emit(expansionEvent(c.algo, c.stage, p, eDmax, children))
+}
+
+// traceStage emits a stage_start or stage_end event carrying the
+// currently active eDmax and a result/queue count.
+func (c *execContext) traceStage(kind trace.Kind, stage string, eDmax float64, count int64) {
+	c.stage = stage
+	if !c.tr.Enabled() {
+		return
+	}
+	c.tr.Emit(trace.Event{Kind: kind, Algo: c.algo, Stage: stage, EDmax: eDmax, Count: count})
+}
+
+// traceEDmax emits an edmax_update event when the cutoff strictly
+// tightens (old > new), recording both values.
+func (c *execContext) traceEDmax(old, new float64) {
+	if !c.tr.Enabled() || !(new < old) {
+		return
+	}
+	c.tr.Emit(trace.Event{Kind: trace.KindEDmaxUpdate, Algo: c.algo, Stage: c.stage, EDmax: new, Dist: old})
+}
+
+// traceError records err (if non-nil) as an error event and returns it
+// unchanged, so call sites can wrap their returns.
+func (c *execContext) traceError(err error) error {
+	if err != nil && c.tr.Enabled() {
+		c.tr.Emit(trace.Event{Kind: trace.KindError, Algo: c.algo, Stage: c.stage, Err: err.Error()})
+	}
+	return err
 }
 
 // cancelEvery bounds how many pops happen between cancellation polls.

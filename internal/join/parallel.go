@@ -51,6 +51,7 @@ import (
 	"distjoin/internal/hybridq"
 	"distjoin/internal/metrics"
 	"distjoin/internal/rtree"
+	"distjoin/internal/trace"
 )
 
 // parallelState is the per-query worker-pool state: one expander (and
@@ -90,14 +91,31 @@ type expandOut struct {
 	// direct marks outputs that bypass the merge-time cutoff filter
 	// (refinement results are pushed unconditionally, as in serial).
 	direct bool
+	// events buffers the task's trace events (empty when no tracer is
+	// installed). They are emitted by the coordinator at the batch
+	// barrier, in task order, so trace output is deterministic for a
+	// given worker count regardless of goroutine scheduling.
+	events []trace.Event
 	err    error
 }
 
 // out resets and returns the i-th output slot for the next batch.
 func (ps *parallelState) out(i int) *expandOut {
 	o := &ps.outs[i]
-	*o = expandOut{pairs: o.pairs[:0]}
+	*o = expandOut{pairs: o.pairs[:0], events: o.events[:0]}
 	return o
+}
+
+// traceExpansion buffers an expansion event for p into out when
+// tracing is enabled. children is the number of buffered candidate
+// pairs the expansion produced (before the merge-time cutoff filter —
+// the pre-merge count is what the worker observed under the frozen
+// cutoff).
+func (e *expander) traceExpansion(out *expandOut, p hybridq.Pair, cutoff float64, children int64) {
+	if !e.c.tr.Enabled() {
+		return
+	}
+	out.events = append(out.events, expansionEvent(e.c.algo, e.c.stage, p, cutoff, children))
 }
 
 // ptask is one unit of worker work with its output slot.
@@ -175,6 +193,7 @@ func (e *expander) sweepChildren(p hybridq.Pair, cutoff func() float64, out *exp
 		out.pairs = append(out.pairs, run.childPair(le, re, d))
 	}
 	run.run()
+	e.traceExpansion(out, p, cutoff(), int64(len(out.pairs)))
 }
 
 // aggressiveChildren is the parallel form of amAggressiveSweep: axis
@@ -195,6 +214,7 @@ func (e *expander) aggressiveChildren(p hybridq.Pair, eDmax float64, cutoff func
 	}
 	run.run()
 	out.ci = &compInfo{pair: p, plan: run.plan, ranges: run.out, examCutoff: eDmax}
+	e.traceExpansion(out, p, eDmax, int64(len(out.pairs)))
 }
 
 // compensateChildren is the parallel form of amCompensateSweep:
@@ -215,6 +235,7 @@ func (e *expander) compensateChildren(p hybridq.Pair, ci *compInfo, cutoff func(
 		out.pairs = append(out.pairs, run.childPair(le, re, d))
 	}
 	run.run()
+	e.traceExpansion(out, p, cutoff(), int64(len(out.pairs)))
 }
 
 // refineTask refines one <object,object> pair; the refined pair is
@@ -244,6 +265,7 @@ func (e *expander) idjFreshChildren(p hybridq.Pair, cur float64, record bool, ou
 	if record {
 		out.ci = &compInfo{pair: p, plan: run.plan, ranges: run.out, examCutoff: cur}
 	}
+	e.traceExpansion(out, p, cur, int64(len(out.pairs)))
 }
 
 // idjBandChildren is the parallel form of AM-IDJ's band
@@ -270,6 +292,7 @@ func (e *expander) idjBandChildren(p hybridq.Pair, ci *compInfo, cur, prev float
 	}
 	run.run()
 	out.ranges = run.out
+	e.traceExpansion(out, p, cur, int64(len(out.pairs)))
 }
 
 // emitPrefix appends to results the longest batch prefix of
@@ -293,7 +316,10 @@ func emitPrefix(c *execContext, batch []hybridq.Pair, results *[]Result, k int) 
 // serial emit closures do.
 func mergeTask(c *execContext, ct *cutoffTracker, out *expandOut) error {
 	if out.err != nil {
-		return out.err
+		return c.traceError(out.err)
+	}
+	if len(out.events) > 0 {
+		c.tr.EmitAll(out.events)
 	}
 	for _, np := range out.pairs {
 		if !out.direct && np.Dist > ct.Cutoff() {
@@ -304,6 +330,15 @@ func mergeTask(c *execContext, ct *cutoffTracker, out *expandOut) error {
 		}
 	}
 	return nil
+}
+
+// traceBarrier emits one batch_barrier event after a batch's tasks
+// have been merged, recording how many tasks the barrier synchronized.
+func (c *execContext) traceBarrier(tasks int) {
+	if !c.tr.Enabled() || tasks == 0 {
+		return
+	}
+	c.tr.Emit(trace.Event{Kind: trace.KindBarrier, Algo: c.algo, Stage: c.stage, Count: int64(tasks)})
 }
 
 // bkdjParallel is the worker-pool form of B-KDJ (Algorithm 1).
@@ -355,9 +390,10 @@ func bkdjParallel(c *execContext, k int) ([]Result, error) {
 				return nil, err
 			}
 		}
+		c.traceBarrier(len(tasks))
 	}
 	if err := c.queue.Err(); err != nil {
-		return nil, err
+		return nil, c.traceError(err)
 	}
 	return results, nil
 }
@@ -371,6 +407,7 @@ func amkdjParallel(c *execContext, k int, opts Options) ([]Result, error) {
 	if eDmax <= 0 {
 		eDmax = c.est.Initial(k) // Eq. 3 (or the configured estimator)
 	}
+	c.traceStage(trace.KindStageStart, "aggressive", eDmax, 0)
 	results := make([]Result, 0, k)
 	var compList []*compInfo
 	compMap := make(map[pairKey]*compInfo)
@@ -389,6 +426,7 @@ func amkdjParallel(c *execContext, k int, opts Options) ([]Result, error) {
 		// Line 8, applied once per batch: once qDmax drops to eDmax
 		// the estimate was an overestimate and eDmax tracks qDmax.
 		if q := ct.Cutoff(); q <= eDmax {
+			c.traceEDmax(eDmax, q)
 			eDmax = q
 		}
 		batch = popBatch(c, batch[:0], ps.workers)
@@ -445,12 +483,15 @@ func amkdjParallel(c *execContext, k int, opts Options) ([]Result, error) {
 				return nil, err
 			}
 		}
+		c.traceBarrier(len(tasks))
 	}
+	c.traceStage(trace.KindStageEnd, "aggressive", eDmax, int64(len(results)))
 
 	// Stage two: compensation (Algorithm 3), needed only when the
 	// aggressive stage fell short.
 	if len(results) < k && c.queue.Err() == nil {
 		c.mc.AddCompensationStage()
+		c.traceStage(trace.KindCompensation, "compensation", eDmax, int64(len(compList)))
 		// Re-seed the bookkept pairs; their bounds are NOT
 		// re-registered with the cutoff tracker (see the serial
 		// AMKDJ for the reasoning).
@@ -499,10 +540,11 @@ func amkdjParallel(c *execContext, k int, opts Options) ([]Result, error) {
 					return nil, err
 				}
 			}
+			c.traceBarrier(len(tasks))
 		}
 	}
 	if err := c.queue.Err(); err != nil {
-		return nil, err
+		return nil, c.traceError(err)
 	}
 	return results, nil
 }
@@ -552,7 +594,10 @@ func (it *AMIDJIterator) expandParallel(first hybridq.Pair) error {
 	for j := range tasks {
 		out := tasks[j].out
 		if out.err != nil {
-			return out.err
+			return c.traceError(out.err)
+		}
+		if len(out.events) > 0 {
+			c.tr.EmitAll(out.events)
 		}
 		for _, np := range out.pairs {
 			c.push(np)
@@ -585,5 +630,6 @@ func (it *AMIDJIterator) expandParallel(first hybridq.Pair) error {
 			ci.examCutoff = cur
 		}
 	}
+	c.traceBarrier(len(tasks))
 	return nil
 }

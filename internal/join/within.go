@@ -2,6 +2,7 @@ package join
 
 import (
 	"fmt"
+	"math"
 
 	"distjoin/internal/hybridq"
 	"distjoin/internal/rtree"
@@ -16,9 +17,17 @@ import (
 // distances; under SelfJoin semantics identity and mirror pairs are
 // suppressed. The traversal is a synchronized depth-first descent with
 // plane-sweep pruning, so no priority queue is involved.
+//
+// maxDist must not be NaN (an error is returned: a NaN threshold makes
+// every comparison false, which would silently stream the full cross
+// product). A +Inf threshold is valid and means "no distance limit" —
+// every pair is produced.
 func WithinJoin(left, right *rtree.Tree, maxDist float64, opts Options, fn func(Result) bool) error {
 	if fn == nil {
 		return fmt.Errorf("join: WithinJoin requires a callback")
+	}
+	if math.IsNaN(maxDist) {
+		return fmt.Errorf("join: WithinJoin maxDist must not be NaN")
 	}
 	c, err := newContext(left, right, opts)
 	if err != nil {
@@ -27,6 +36,7 @@ func WithinJoin(left, right *rtree.Tree, maxDist float64, opts Options, fn func(
 	if maxDist < 0 || c.left.Size() == 0 || c.right.Size() == 0 {
 		return nil
 	}
+	c.algo, c.stage = "WITHIN", "descend"
 	c.mc.Start()
 	defer c.mc.Finish()
 
@@ -43,8 +53,9 @@ func WithinJoin(left, right *rtree.Tree, maxDist float64, opts Options, fn func(
 		}
 		run, err := c.ex.expansion(p, maxDist)
 		if err != nil {
-			return err
+			return c.traceError(err)
 		}
+		var children int64
 		run.axisCutoff = func() float64 { return maxDist }
 		run.emit = func(le, re rtree.NodeEntry, d float64) {
 			if stop || d > maxDist {
@@ -53,6 +64,7 @@ func WithinJoin(left, right *rtree.Tree, maxDist float64, opts Options, fn func(
 			np := run.childPair(le, re, d)
 			if !np.IsResult() {
 				stack = append(stack, np)
+				children++
 				return
 			}
 			if c.opts.SelfJoin && np.Left >= np.Right {
@@ -65,11 +77,13 @@ func WithinJoin(left, right *rtree.Tree, maxDist float64, opts Options, fn func(
 				}
 			}
 			c.mc.AddResult(1)
+			children++
 			if !fn(pairResult(np)) {
 				stop = true
 			}
 		}
 		run.run()
+		c.traceExpansion(p, maxDist, children)
 	}
 	return nil
 }
@@ -107,6 +121,13 @@ func AllNearest(left, right *rtree.Tree, opts Options, fn func(left Result) bool
 		ns, err := right.NearestNeighbors(it.Rect, 1, c.mc)
 		if err != nil {
 			innerErr = err
+			return false
+		}
+		if len(ns) == 0 {
+			// Defensive: Size() > 0 was checked above, but a corrupt or
+			// truncated index can still yield an empty search frontier.
+			// Fail with a diagnosable error instead of panicking.
+			innerErr = fmt.Errorf("join: AllNearest: right tree returned no nearest neighbor for left object %d (index may be corrupt)", it.Obj)
 			return false
 		}
 		n := ns[0]

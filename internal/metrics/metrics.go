@@ -97,6 +97,16 @@ type Collector struct {
 	// (AM-KDJ: 0 or 1; AM-IDJ: any number).
 	CompensationStages int64
 
+	// BufferHits / BufferMisses count R-tree buffer pool page
+	// accesses attributed to this query (hits served from a frame,
+	// misses read through to the store). Their ratio is the pool
+	// hit-ratio gauge of the Prometheus export.
+	BufferHits   int64
+	BufferMisses int64
+	// BufferEvictions counts frames the query's misses pushed out of
+	// the pool (LRU victims, whether or not dirty).
+	BufferEvictions int64
+
 	// ModeledIOTime is simulated time charged by the IOCostModel for
 	// every physical page access.
 	ModeledIOTime time.Duration
@@ -185,6 +195,30 @@ func (c *Collector) NodeAccess(physical bool, cost time.Duration) {
 		c.NodeAccessesPhysical++
 		c.ModeledIOTime += cost
 	}
+}
+
+// BufferAccess records one buffer pool access — a hit or a miss —
+// together with the number of frames the access evicted (always zero
+// for hits).
+func (c *Collector) BufferAccess(hit bool, evictions int64) {
+	if c == nil {
+		return
+	}
+	if hit {
+		c.BufferHits++
+		return
+	}
+	c.BufferMisses++
+	c.BufferEvictions += evictions
+}
+
+// BufferHitRatio returns hits / (hits + misses), or 0 before any
+// access — the hit-ratio gauge of the Prometheus export.
+func (c *Collector) BufferHitRatio() float64 {
+	if c == nil || c.BufferHits+c.BufferMisses == 0 {
+		return 0
+	}
+	return float64(c.BufferHits) / float64(c.BufferHits+c.BufferMisses)
 }
 
 // QueueIO records hybrid-queue page traffic with charged time.
@@ -279,6 +313,9 @@ func (c *Collector) Add(o *Collector) {
 	}
 	c.ResultsProduced += o.ResultsProduced
 	c.CompensationStages += o.CompensationStages
+	c.BufferHits += o.BufferHits
+	c.BufferMisses += o.BufferMisses
+	c.BufferEvictions += o.BufferEvictions
 	c.ModeledIOTime += o.ModeledIOTime
 	c.WallTime += o.WallTime
 }

@@ -59,5 +59,8 @@ func (c *Collector) isZero() bool {
 		c.QueuePageReads == 0 && c.QueuePageWrites == 0 &&
 		c.SortPageReads == 0 && c.SortPageWrites == 0 &&
 		c.MainQueuePeak == 0 && c.ResultsProduced == 0 &&
-		c.CompensationStages == 0 && c.ModeledIOTime == 0
+		c.CompensationStages == 0 &&
+		c.BufferHits == 0 && c.BufferMisses == 0 &&
+		c.BufferEvictions == 0 &&
+		c.ModeledIOTime == 0 && c.WallTime == 0
 }

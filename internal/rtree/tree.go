@@ -179,13 +179,16 @@ func (t *Tree) ResizeBuffer(bytes int) {
 func (t *Tree) SetIOCostModel(m metrics.IOCostModel) { t.cost = m }
 
 // ReadNode fetches and decodes the node on page id, reusing dst. The
-// access is recorded against mc (which may be nil).
+// access is recorded against mc (which may be nil): one logical node
+// access, whether it was physical (buffer miss), and the buffer pool
+// hit/miss/eviction attribution.
 func (t *Tree) ReadNode(id storage.PageID, dst *Node, mc *metrics.Collector) error {
-	page, hit, err := t.pool.Get(id)
+	page, acc, err := t.pool.GetAccounted(id)
 	if err != nil {
 		return err
 	}
-	mc.NodeAccess(!hit, t.cost.RandomPageCost())
+	mc.NodeAccess(!acc.Hit, t.cost.RandomPageCost())
+	mc.BufferAccess(acc.Hit, acc.Evictions)
 	return decodeNode(page, dst)
 }
 

@@ -75,22 +75,41 @@ func (p *BufferPool) Store() Store { return p.store }
 // The returned slice aliases the cached frame and is valid until the
 // next pool operation; callers that retain data must copy it.
 func (p *BufferPool) Get(id PageID) (data []byte, hit bool, err error) {
+	data, acc, err := p.GetAccounted(id)
+	return data, acc.Hit, err
+}
+
+// Access describes one buffer pool access for per-query attribution:
+// whether it hit, and how many frames the access evicted (always zero
+// on a hit). Aggregate pool statistics remain available via Stats;
+// Access lets a query charge its own share to a metrics.Collector
+// shard without sharing mutable counters across goroutines.
+type Access struct {
+	Hit       bool
+	Evictions int64
+}
+
+// GetAccounted is Get with per-access attribution: the returned
+// Access reports the hit/miss outcome and the evictions this access
+// caused. The data aliasing contract is the same as Get's.
+func (p *BufferPool) GetAccounted(id PageID) (data []byte, acc Access, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if el, ok := p.table[id]; ok {
 		p.lru.MoveToFront(el)
 		p.stats.Hits++
-		return el.Value.(*frame).data, true, nil
+		return el.Value.(*frame).data, Access{Hit: true}, nil
 	}
 	p.stats.Misses++
 	buf := make([]byte, p.store.PageSize())
 	if err := p.store.ReadPage(id, buf); err != nil {
-		return nil, false, err
+		return nil, Access{}, err
 	}
-	if err := p.insertLocked(&frame{id: id, data: buf}); err != nil {
-		return nil, false, err
+	evicted, err := p.insertLocked(&frame{id: id, data: buf})
+	if err != nil {
+		return nil, Access{}, err
 	}
-	return buf, false, nil
+	return buf, Access{Evictions: evicted}, nil
 }
 
 // Put installs data as the contents of page id and marks it dirty. The
@@ -110,11 +129,13 @@ func (p *BufferPool) Put(id PageID, data []byte) error {
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	return p.insertLocked(&frame{id: id, data: buf, dirty: true})
+	_, err := p.insertLocked(&frame{id: id, data: buf, dirty: true})
+	return err
 }
 
-// insertLocked adds f to the pool, evicting the LRU frame if full.
-func (p *BufferPool) insertLocked(f *frame) error {
+// insertLocked adds f to the pool, evicting LRU frames if full, and
+// returns how many frames were evicted.
+func (p *BufferPool) insertLocked(f *frame) (evicted int64, err error) {
 	for p.lru.Len() >= p.frames {
 		back := p.lru.Back()
 		if back == nil {
@@ -123,16 +144,17 @@ func (p *BufferPool) insertLocked(f *frame) error {
 		victim := back.Value.(*frame)
 		if victim.dirty {
 			if err := p.store.WritePage(victim.id, victim.data); err != nil {
-				return fmt.Errorf("storage: evict page %d: %w", victim.id, err)
+				return evicted, fmt.Errorf("storage: evict page %d: %w", victim.id, err)
 			}
 			p.stats.Flushes++
 		}
 		p.lru.Remove(back)
 		delete(p.table, victim.id)
 		p.stats.Evictions++
+		evicted++
 	}
 	p.table[f.id] = p.lru.PushFront(f)
-	return nil
+	return evicted, nil
 }
 
 // Flush writes all dirty frames back to the store without evicting.

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"distjoin/internal/metrics"
+)
+
+// Metrics export: turn a metrics.Collector snapshot into machine
+// formats. Two are provided:
+//
+//   - WriteMetricsJSON: the collector's exported fields plus the
+//     derived totals, as one JSON object.
+//   - WriteMetricsProm: Prometheus text exposition format (HELP/TYPE
+//     comments + samples), suitable for a textfile collector or a
+//     scrape handler.
+//
+// Both exporters enumerate the Collector's exported fields by
+// reflection, so a counter added to the Collector can never be
+// silently dropped from the export — the same property the
+// reflection test in internal/metrics enforces for Add/Reset/isZero.
+
+// promNamespace prefixes every exported Prometheus metric name.
+const promNamespace = "distjoin"
+
+// promGaugeFields are Collector fields exported as gauges rather than
+// monotone counters (everything else integral is a counter and gets a
+// _total suffix).
+var promGaugeFields = map[string]bool{
+	"MainQueuePeak": true,
+}
+
+// durationType identifies time.Duration fields, exported as *_seconds
+// gauges.
+var durationType = reflect.TypeOf(time.Duration(0))
+
+// collectorField is one exported Collector field resolved by
+// reflection.
+type collectorField struct {
+	Name     string // Go field name
+	Prom     string // full Prometheus metric name
+	Gauge    bool
+	Seconds  bool // value is a duration, exported in seconds
+	Index    int  // struct field index
+	DocBrief string
+}
+
+// collectorFields enumerates the exported numeric fields of
+// metrics.Collector in declaration order. Computed once at package
+// init; a non-numeric exported field would be a programming error
+// caught by the panic (and by TestPromExportCoversCollector).
+var collectorFields = enumerateCollectorFields()
+
+func enumerateCollectorFields() []collectorField {
+	t := reflect.TypeOf(metrics.Collector{})
+	fields := make([]collectorField, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		cf := collectorField{Name: f.Name, Index: i}
+		switch {
+		case f.Type == durationType:
+			cf.Seconds = true
+			cf.Gauge = true
+			cf.Prom = fmt.Sprintf("%s_%s_seconds", promNamespace, snakeCase(f.Name))
+		case f.Type.Kind() == reflect.Int64:
+			cf.Gauge = promGaugeFields[f.Name]
+			suffix := "_total"
+			if cf.Gauge {
+				suffix = ""
+			}
+			cf.Prom = fmt.Sprintf("%s_%s%s", promNamespace, snakeCase(f.Name), suffix)
+		default:
+			panic(fmt.Sprintf("trace: unsupported Collector field %s of type %s", f.Name, f.Type))
+		}
+		cf.DocBrief = fmt.Sprintf("Collector field %s.", f.Name)
+		fields = append(fields, cf)
+	}
+	return fields
+}
+
+// snakeCase converts a Go CamelCase identifier to snake_case
+// ("NodeAccessesLogical" -> "node_accesses_logical", "IOTime" ->
+// "io_time").
+func snakeCase(s string) string {
+	var b strings.Builder
+	runes := []rune(s)
+	for i, r := range runes {
+		lower := r | 0x20 // ASCII lowercase; identifiers here are ASCII
+		isUpper := r >= 'A' && r <= 'Z'
+		if isUpper && i > 0 {
+			prevUpper := runes[i-1] >= 'A' && runes[i-1] <= 'Z'
+			nextLower := i+1 < len(runes) && runes[i+1] >= 'a' && runes[i+1] <= 'z'
+			if !prevUpper || nextLower {
+				b.WriteByte('_')
+			}
+		}
+		b.WriteRune(lower)
+	}
+	return b.String()
+}
+
+// derived Prometheus metrics computed from the collector rather than
+// read from a field.
+type derivedMetric struct {
+	Name  string
+	Help  string
+	Gauge bool
+	Value func(c *metrics.Collector) float64
+}
+
+var derivedMetrics = []derivedMetric{
+	{
+		Name:  promNamespace + "_buffer_hit_ratio",
+		Help:  "Buffer pool hit ratio: hits / (hits + misses); 0 before any access.",
+		Gauge: true,
+		Value: func(c *metrics.Collector) float64 { return c.BufferHitRatio() },
+	},
+	{
+		Name:  promNamespace + "_dist_calcs_total",
+		Help:  "Total distance computations (axis + real), the quantity of Figures 10(a)/12(a)/14(a).",
+		Value: func(c *metrics.Collector) float64 { return float64(c.DistCalcs()) },
+	},
+	{
+		Name:  promNamespace + "_queue_inserts_total",
+		Help:  "Total queue insertions across all queues, the quantity of Figures 10(b)/12(b)/14(b).",
+		Value: func(c *metrics.Collector) float64 { return float64(c.QueueInserts()) },
+	},
+	{
+		Name:  promNamespace + "_response_time_seconds",
+		Help:  "Modeled response time: wall clock plus charged I/O time.",
+		Gauge: true,
+		Value: func(c *metrics.Collector) float64 { return c.ResponseTime().Seconds() },
+	},
+}
+
+// WriteMetricsProm writes c as Prometheus text exposition format
+// (version 0.0.4): one HELP line, one TYPE line, and one sample per
+// metric, all under the "distjoin_" namespace. A nil collector
+// exports all zeros.
+func WriteMetricsProm(w io.Writer, c *metrics.Collector) error {
+	if c == nil {
+		c = &metrics.Collector{}
+	}
+	v := reflect.ValueOf(c).Elem()
+	for _, f := range collectorFields {
+		val := float64(v.Field(f.Index).Int())
+		if f.Seconds {
+			val = time.Duration(v.Field(f.Index).Int()).Seconds()
+		}
+		if err := writePromSample(w, f.Prom, f.DocBrief, f.Gauge, val); err != nil {
+			return err
+		}
+	}
+	for _, d := range derivedMetrics {
+		if err := writePromSample(w, d.Name, d.Help, d.Gauge, d.Value(c)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromSample(w io.Writer, name, help string, gauge bool, val float64) error {
+	typ := "counter"
+	if gauge {
+		typ = "gauge"
+	}
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		name, help, name, typ, name, strconv.FormatFloat(val, 'g', -1, 64))
+	return err
+}
+
+// PromMetricNames returns the sorted metric names WriteMetricsProm
+// emits — exposed so tests (and documentation generators) can assert
+// export completeness.
+func PromMetricNames() []string {
+	names := make([]string, 0, len(collectorFields)+len(derivedMetrics))
+	for _, f := range collectorFields {
+		names = append(names, f.Prom)
+	}
+	for _, d := range derivedMetrics {
+		names = append(names, d.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteMetricsJSON writes c as one JSON object: every exported
+// Collector field by name, plus the derived totals DistCalcs,
+// QueueInserts, BufferHitRatio, and ResponseTime. Durations are
+// nanoseconds (Go's time.Duration encoding). A nil collector exports
+// all zeros.
+func WriteMetricsJSON(w io.Writer, c *metrics.Collector) error {
+	if c == nil {
+		c = &metrics.Collector{}
+	}
+	obj := make(map[string]any, len(collectorFields)+4)
+	v := reflect.ValueOf(c).Elem()
+	for _, f := range collectorFields {
+		obj[f.Name] = v.Field(f.Index).Int()
+	}
+	obj["DistCalcs"] = c.DistCalcs()
+	obj["QueueInserts"] = c.QueueInserts()
+	obj["BufferHitRatio"] = c.BufferHitRatio()
+	obj["ResponseTime"] = int64(c.ResponseTime())
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(obj)
+}

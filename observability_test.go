@@ -1,0 +1,117 @@
+package distjoin
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestFacadeInputValidation covers the defensive checks added to the
+// public entry points: nil/zero indexes, non-positive k, and NaN
+// distance thresholds must produce errors, never panics.
+func TestFacadeInputValidation(t *testing.T) {
+	idx, err := NewIndex(randObjects(rand.New(rand.NewSource(40)), 50, 100, 5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := func(Pair) bool { return true }
+	ksink := func([]Pair) bool { return true }
+
+	for name, call := range map[string]func() error{
+		"KDistanceJoin/nil-left":  func() error { _, err := KDistanceJoin(nil, idx, 5, nil); return err },
+		"KDistanceJoin/nil-right": func() error { _, err := KDistanceJoin(idx, nil, 5, nil); return err },
+		"KDistanceJoin/zero-idx":  func() error { _, err := KDistanceJoin(idx, &Index{}, 5, nil); return err },
+		"KDistanceJoin/k=0":       func() error { _, err := KDistanceJoin(idx, idx, 0, nil); return err },
+		"KDistanceJoin/k<0":       func() error { _, err := KDistanceJoin(idx, idx, -3, nil); return err },
+		"IncrementalJoin/nil":     func() error { _, err := IncrementalJoin(nil, idx, nil); return err },
+		"WithinJoin/nil":          func() error { return WithinJoin(nil, idx, 1, nil, sink) },
+		"WithinJoin/NaN":          func() error { return WithinJoin(idx, idx, math.NaN(), nil, sink) },
+		"AllNearest/nil":          func() error { return AllNearest(idx, nil, nil, sink) },
+		"KNNJoin/nil":             func() error { return KNNJoin(nil, idx, 3, nil, ksink) },
+		"KNNJoin/k=0":             func() error { return KNNJoin(idx, idx, 0, nil, ksink) },
+	} {
+		if err := call(); err == nil {
+			t.Errorf("%s: expected an error, got nil", name)
+		}
+	}
+
+	// +Inf maxDist stays valid: it means "no distance limit".
+	n := 0
+	if err := WithinJoin(idx, idx, math.Inf(1), nil, func(Pair) bool { n++; return true }); err != nil {
+		t.Fatalf("+Inf maxDist rejected: %v", err)
+	}
+	if want := idx.Len() * idx.Len(); n != want {
+		t.Fatalf("+Inf WithinJoin produced %d pairs, want %d", n, want)
+	}
+}
+
+// TestTraceThroughFacade runs a traced join through the public API and
+// checks the tracer saw the query and the stats exporters emit
+// parseable output.
+func TestTraceThroughFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	left, err := NewIndex(randObjects(rng, 300, 1000, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := NewIndex(randObjects(rng, 250, 1000, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewTracer(DefaultTraceCapacity)
+	stats := &Stats{}
+	pairs, err := KDistanceJoin(left, right, 100, &Options{Trace: tr, Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 100 {
+		t.Fatalf("%d pairs", len(pairs))
+	}
+	if tr.Len() == 0 {
+		t.Fatal("tracer recorded no events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("trace JSON invalid")
+	}
+
+	buf.Reset()
+	if err := WriteStatsJSON(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("stats JSON invalid: %v", err)
+	}
+	if _, ok := obj["DistCalcs"]; !ok {
+		t.Error("stats JSON missing DistCalcs")
+	}
+
+	buf.Reset()
+	if err := WriteStatsProm(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "distjoin_real_dist_calcs_total") {
+		t.Error("prom stats missing distjoin_real_dist_calcs_total")
+	}
+
+	// A second traced run with parallel workers must match the serial
+	// results through the facade too.
+	tr2 := NewTracer(0)
+	par, err := KDistanceJoin(left, right, 100, &Options{Trace: tr2, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range par {
+		if par[i] != pairs[i] {
+			t.Fatalf("parallel traced pair %d = %+v, want %+v", i, par[i], pairs[i])
+		}
+	}
+}
