@@ -2,7 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race cover fuzz fuzz-smoke bench experiments examples ci clean
+.PHONY: all build vet lint test test-short race cover fuzz fuzz-smoke bench bench-json bench-diff bench-baseline experiments examples ci clean
+
+# Continuous-benchmark knobs: the committed baseline was produced with
+# these values, so candidates must use the same ones to be comparable.
+BENCH_SCALE ?= 0.02
+BENCH_BASELINE ?= BENCH_3.json
+BENCH_NEW ?= bench-new.json
+BENCH_THRESHOLD ?= 0.25
 
 all: build vet test
 
@@ -57,6 +64,19 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Write a schema-versioned perf record for the regression gate.
+bench-json:
+	$(GO) run ./cmd/distjoin-bench -bench-json $(BENCH_NEW) -scale $(BENCH_SCALE)
+
+# Gate a candidate record against the committed baseline; fails when a
+# deterministic cost counter regresses past BENCH_THRESHOLD.
+bench-diff: bench-json
+	$(GO) run ./cmd/benchdiff -old $(BENCH_BASELINE) -new $(BENCH_NEW) -threshold $(BENCH_THRESHOLD)
+
+# Refresh the committed baseline (after a justified counter shift).
+bench-baseline:
+	$(GO) run ./cmd/distjoin-bench -bench-json $(BENCH_BASELINE) -scale $(BENCH_SCALE)
+
 # Regenerate the paper's evaluation (tables to stdout, figures to ./figures).
 experiments:
 	$(GO) run ./cmd/distjoin-bench -exp all -svg figures
@@ -67,15 +87,18 @@ examples:
 	$(GO) run ./examples/incremental -n 5000 -batch 200 -batches 3
 	$(GO) run ./examples/tigerscale -n 10000
 	$(GO) run ./examples/analytics -customers 5000
+	$(GO) run ./examples/serving -duration 3s
 
 # Everything the CI workflow (.github/workflows/ci.yml) runs, locally:
-# lint gate, build, tests with coverage, race detector, fuzz smoke.
+# lint gate, build, tests with coverage, race detector, fuzz smoke,
+# bench regression gate.
 ci: lint build
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 	$(GO) test -race -short ./...
 	$(MAKE) fuzz-smoke
+	$(MAKE) bench-diff
 
 clean:
 	$(GO) clean ./...
-	rm -rf figures coverage.out
+	rm -rf figures coverage.out $(BENCH_NEW)

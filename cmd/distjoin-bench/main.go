@@ -21,6 +21,13 @@
 //	-metrics-format f    with -trace: print the query's counters to
 //	                     stdout as "json" or "prom" (Prometheus text)
 //	-pprof addr          serve net/http/pprof on addr for the run
+//
+// Continuous-benchmark flags:
+//
+//	-bench-json out      run the perf suite (instead of -exp) and write
+//	                     a schema-versioned record for cmd/benchdiff /
+//	                     the CI regression gate; -bench-parallel adds
+//	                     one n-worker AM-KDJ entry (default 8, 0 = none)
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"distjoin/internal/benchrec"
 	"distjoin/internal/experiments"
 	"distjoin/internal/join"
 	"distjoin/internal/metrics"
@@ -51,6 +59,8 @@ func main() {
 		traceK    = flag.Int("trace-k", 1000, "stopping cardinality k of the traced query")
 		mFormat   = flag.String("metrics-format", "", "with -trace: print the traced query's metrics to stdout as \"json\" or \"prom\"")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+		benchJSON = flag.String("bench-json", "", "run the continuous-benchmark suite (instead of -exp) and write the perf record to this file")
+		benchPar  = flag.Int("bench-parallel", 8, "with -bench-json: worker count of the extra parallel AM-KDJ entry (0 = skip it)")
 	)
 	flag.Parse()
 
@@ -84,6 +94,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "distjoin-bench: %v\n", err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *benchJSON != "" {
+		rec, err := experiments.PerfRecord(cfg, *benchPar)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distjoin-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := benchrec.WriteFile(*benchJSON, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "distjoin-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d bench entries (schema %d, scale %g, seed %d) to %s\n",
+			len(rec.Entries), rec.Schema, rec.Scale, rec.Seed, *benchJSON)
 		return
 	}
 

@@ -32,11 +32,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
+	"sync"
 
 	"distjoin/internal/estimate"
 	"distjoin/internal/geom"
 	"distjoin/internal/join"
 	"distjoin/internal/metrics"
+	"distjoin/internal/obsrv"
 	"distjoin/internal/rtree"
 	"distjoin/internal/storage"
 	"distjoin/internal/trace"
@@ -112,6 +115,53 @@ func WriteStatsJSON(w io.Writer, s *Stats) error { return trace.WriteMetricsJSON
 // format under the "distjoin_" namespace, suitable for a textfile
 // collector or a scrape handler. A nil stats writes all zeros.
 func WriteStatsProm(w io.Writer, s *Stats) error { return trace.WriteMetricsProm(w, s) }
+
+// Registry aggregates observability process-wide: per-algorithm query
+// counts, latency / distance-computation / queue-insertion histograms
+// (p50/p90/p99 derivable from the log buckets), eDmax-estimator
+// accuracy telemetry, and a live table of in-flight queries. Attach
+// one via Options.Registry; a nil registry is a zero-cost no-op.
+// Expose it over HTTP with ServeObservability or ObservabilityHandler.
+type Registry = obsrv.Registry
+
+// RegistrySnapshot is an immutable copy of a Registry's state.
+type RegistrySnapshot = obsrv.Snapshot
+
+// NewRegistry returns an empty observability registry.
+func NewRegistry() *Registry { return obsrv.NewRegistry() }
+
+var (
+	defaultRegistryOnce sync.Once
+	defaultRegistry     *Registry
+)
+
+// DefaultRegistry returns the lazily-created process-wide registry,
+// for applications that want one shared aggregation point without
+// plumbing their own.
+func DefaultRegistry() *Registry {
+	defaultRegistryOnce.Do(func() { defaultRegistry = obsrv.NewRegistry() })
+	return defaultRegistry
+}
+
+// ObservabilityHandler returns an http.Handler exposing reg:
+// /metrics (Prometheus text exposition), /queries (live in-flight
+// query inspector, JSON), /debug/vars (full snapshot + runtime stats,
+// JSON), /debug/pprof/*, and /healthz. reg may be nil (empty views).
+// Mount it on an existing mux, or use ServeObservability to run a
+// standalone server.
+func ObservabilityHandler(reg *Registry) http.Handler { return obsrv.Handler(reg) }
+
+// ObservabilityServer is a running observability HTTP server started
+// by ServeObservability.
+type ObservabilityServer = obsrv.Server
+
+// ServeObservability starts an HTTP server on addr (e.g. ":9090", or
+// "127.0.0.1:0" for an ephemeral port — read it back with Addr())
+// serving ObservabilityHandler(reg). Close the returned server to
+// shut it down.
+func ServeObservability(addr string, reg *Registry) (*ObservabilityServer, error) {
+	return obsrv.Serve(addr, reg)
+}
 
 // Estimator predicts the distance of the k-th nearest pair, steering
 // the adaptive multi-stage algorithms' pruning. The default is the
@@ -215,6 +265,13 @@ type Options struct {
 	// traced runs return exactly the pairs serial runs return — and a
 	// nil tracer adds no allocations to the query hot path.
 	Trace *Tracer
+	// Registry, when non-nil, aggregates this query into the
+	// process-level observability registry: it appears in the live
+	// /queries inspector while running and feeds the per-algorithm
+	// latency/work histograms and eDmax-accuracy telemetry on
+	// completion. A nil registry costs nothing. See NewRegistry,
+	// DefaultRegistry, and ServeObservability.
+	Registry *Registry
 }
 
 // AutoParallelism, assigned to Options.Parallelism, sizes the worker
@@ -236,6 +293,7 @@ func (o *Options) joinOptions() join.Options {
 		Context:       o.Context,
 		Parallelism:   o.Parallelism,
 		Trace:         o.Trace,
+		Registry:      o.Registry,
 	}
 	if o.DisableSweepOptimization {
 		sp := join.FixedSweep
@@ -431,8 +489,9 @@ func KDistanceJoin(left, right *Index, k int, opts *Options) ([]Pair, error) {
 // Iterator produces incremental distance join results one pair at a
 // time, in nondecreasing distance order.
 type Iterator struct {
-	next func() (join.Result, bool)
-	err  func() error
+	next  func() (join.Result, bool)
+	err   func() error
+	close func()
 }
 
 // Next returns the next nearest pair; ok is false when the join is
@@ -447,6 +506,13 @@ func (it *Iterator) Next() (Pair, bool) {
 
 // Err returns the first error encountered during iteration.
 func (it *Iterator) Err() error { return it.err() }
+
+// Close finalizes the query's observability accounting (its
+// Options.Registry entry, if any). It is idempotent and optional when
+// the iterator is driven to exhaustion — the terminal Next call
+// finalizes implicitly — but should be called when abandoning an
+// iterator early, so the query does not linger in the live inspector.
+func (it *Iterator) Close() { it.close() }
 
 // IncrementalJoin starts an incremental distance join — no stopping
 // cardinality required; pull as many pairs as needed from the
@@ -467,13 +533,13 @@ func IncrementalJoin(left, right *Index, opts *Options) (*Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Iterator{next: it.Next, err: it.Err}, nil
+		return &Iterator{next: it.Next, err: it.Err, close: it.Close}, nil
 	case HSKDJ:
 		it, err := join.HSIDJ(left.tree, right.tree, jo)
 		if err != nil {
 			return nil, err
 		}
-		return &Iterator{next: it.Next, err: it.Err}, nil
+		return &Iterator{next: it.Next, err: it.Err, close: it.Close}, nil
 	default:
 		return nil, fmt.Errorf("distjoin: algorithm %v does not support incremental joins", algo)
 	}

@@ -1,0 +1,125 @@
+// Serving: embedding the join engine in a long-running process with
+// live observability. A registry is attached to every query and
+// exported over HTTP; while a background workload of mixed blocking
+// and incremental joins runs, the process can be inspected with:
+//
+//	curl -s localhost:9090/metrics   # Prometheus text: per-algorithm
+//	                                 # counters, latency/work histograms,
+//	                                 # eDmax-estimator accuracy
+//	curl -s localhost:9090/queries   # live queries: algorithm, k, stage,
+//	                                 # current eDmax, queue depths
+//	curl -s localhost:9090/healthz
+//	go tool pprof localhost:9090/debug/pprof/profile
+//
+// Run with: go run ./examples/serving [-addr :9090] [-duration 10s]
+//
+// The example drives its own load and scrapes its own endpoints so it
+// terminates after -duration; a real service would just keep the
+// server running for an external Prometheus to scrape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+
+	"distjoin"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "observability listen address")
+	duration := flag.Duration("duration", 10*time.Second, "how long to run the demo workload")
+	flag.Parse()
+
+	// Two synthetic layers: clustered "stores" and uniform "clients".
+	rng := rand.New(rand.NewSource(7))
+	stores := make([]distjoin.Object, 4000)
+	for i := range stores {
+		cx, cy := float64(rng.Intn(8))*12500, float64(rng.Intn(8))*12500
+		stores[i] = distjoin.Object{ID: int64(i), Rect: distjoin.PointRect(
+			cx+rng.NormFloat64()*1500, cy+rng.NormFloat64()*1500)}
+	}
+	clients := make([]distjoin.Object, 6000)
+	for i := range clients {
+		clients[i] = distjoin.Object{ID: int64(i), Rect: distjoin.PointRect(
+			rng.Float64()*100000, rng.Float64()*100000)}
+	}
+	left, err := distjoin.NewIndex(stores, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	right, err := distjoin.NewIndex(clients, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One registry for the whole process; every query below reports
+	// into it. distjoin.DefaultRegistry() works too.
+	reg := distjoin.NewRegistry()
+	srv, err := distjoin.ServeObservability(*addr, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("observability on http://%s/ for %v\n", srv.Addr(), *duration)
+
+	// Background workload: blocking joins across algorithms plus an
+	// incremental join that lingers in flight (visible in /queries).
+	stop := time.Now().Add(*duration)
+	go func() {
+		algos := []distjoin.Algorithm{distjoin.AMKDJ, distjoin.BKDJ, distjoin.HSKDJ}
+		for i := 0; time.Now().Before(stop); i++ {
+			opts := &distjoin.Options{
+				Algorithm: algos[i%len(algos)],
+				Registry:  reg,
+			}
+			if _, err := distjoin.KDistanceJoin(left, right, 100+i%400, opts); err != nil {
+				log.Printf("join: %v", err)
+			}
+			it, err := distjoin.IncrementalJoin(left, right,
+				&distjoin.Options{Registry: reg, BatchK: 64})
+			if err != nil {
+				log.Printf("incremental: %v", err)
+				continue
+			}
+			for j := 0; j < 500; j++ {
+				if _, ok := it.Next(); !ok {
+					break
+				}
+			}
+			it.Close() // ends the query's registry entry
+		}
+	}()
+
+	// Self-scrape a few times so the example shows the surfaces.
+	for time.Now().Before(stop) {
+		time.Sleep(*duration / 4)
+		metrics := scrape(srv.Addr(), "/metrics")
+		for _, line := range strings.Split(metrics, "\n") {
+			if strings.HasPrefix(line, "distjoin_queries_total") ||
+				strings.HasPrefix(line, "distjoin_inflight_queries ") {
+				fmt.Println(line)
+			}
+		}
+		fmt.Println("---")
+	}
+	fmt.Println("done; final /queries:", scrape(srv.Addr(), "/queries"))
+}
+
+func scrape(addr, path string) string {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		return err.Error()
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err.Error()
+	}
+	return string(b)
+}

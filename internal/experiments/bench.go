@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"distjoin/internal/benchrec"
+	"distjoin/internal/join"
+	"distjoin/internal/metrics"
+)
+
+// PerfRecord runs the continuous-benchmark suite and returns the
+// schema-versioned record that `distjoin-bench -bench-json` writes and
+// the CI gate diffs against the committed baseline.
+//
+// The suite covers every algorithm at two scaled cardinalities (the
+// paper's k=1,000 and k=10,000 points), each as a cold start, plus one
+// parallel AM-KDJ entry whose counters are scheduling-dependent and
+// therefore informational in the diff. Serial counters are fully
+// deterministic for a given (scale, seed), which is what makes the
+// 25% regression gate trustworthy on shared CI runners.
+func PerfRecord(cfg Config, parallelism int) (*benchrec.Record, error) {
+	cfg = cfg.withDefaults()
+	w, err := Load(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the SJ-SORT distance oracle once up front so its
+	// brute-force pass isn't attributed to the first SJ-SORT entry's
+	// wall clock or allocations.
+	ks := scaleKSeries([]int{1000, 10000}, cfg.Scale)
+	if _, err := w.Dmax(ks[len(ks)-1]); err != nil {
+		return nil, err
+	}
+
+	rec := &benchrec.Record{
+		Schema:    benchrec.SchemaVersion,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Scale:     cfg.Scale,
+		Seed:      cfg.Seed,
+	}
+
+	measure := func(name string, algo Algo, k, par int,
+		run func() (*metrics.Collector, error)) error {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		mc, err := run()
+		if err != nil {
+			return fmt.Errorf("bench entry %s: %w", name, err)
+		}
+		runtime.ReadMemStats(&after)
+		rec.Entries = append(rec.Entries,
+			benchrec.FromCollector(name, string(algo), k, par, mc,
+				after.TotalAlloc-before.TotalAlloc))
+		return nil
+	}
+
+	for _, k := range ks {
+		k := k
+		for _, algo := range []Algo{AlgoHSKDJ, AlgoBKDJ, AlgoAMKDJ, AlgoSJSort} {
+			algo := algo
+			name := fmt.Sprintf("%s/k=%d", algo, k)
+			err := measure(name, algo, k, 0, func() (*metrics.Collector, error) {
+				return w.RunKDJ(algo, k, join.Options{})
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, algo := range []Algo{AlgoHSIDJ, AlgoAMIDJ} {
+			algo := algo
+			name := fmt.Sprintf("%s/k=%d", algo, k)
+			err := measure(name, algo, k, 0, func() (*metrics.Collector, error) {
+				return w.RunIDJ(algo, k, join.Options{})
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// One parallel AM-KDJ point at the larger k: wall clock is the
+	// interesting signal; counters are worker-order dependent.
+	if parallelism > 1 || parallelism == join.AutoParallelism {
+		k := ks[len(ks)-1]
+		name := fmt.Sprintf("AM-KDJ/k=%d/parallel", k)
+		err := measure(name, AlgoAMKDJ, k, parallelism, func() (*metrics.Collector, error) {
+			return w.RunKDJ(AlgoAMKDJ, k, join.Options{Parallelism: parallelism})
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
+}

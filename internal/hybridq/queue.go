@@ -153,6 +153,15 @@ func (q *Queue) Segments() int {
 	return len(q.segs)
 }
 
+// Depth reports the in-memory pair count, the spilled (on-disk) pair
+// count, and the number of on-disk segments under a single lock
+// acquisition — the shape the live query inspector samples, cheap
+// enough to call on the hot path at a bounded rate.
+func (q *Queue) Depth() (mem, disk, segments int) {
+	defer q.lock()()
+	return q.heap.Len(), q.diskLen(), len(q.segs)
+}
+
 // Err returns the first storage error encountered, if any.
 func (q *Queue) Err() error {
 	defer q.lock()()

@@ -1,7 +1,9 @@
 package join
 
 import (
+	"distjoin/internal/estimate"
 	"distjoin/internal/hybridq"
+	"distjoin/internal/obsrv"
 	"distjoin/internal/rtree"
 	"distjoin/internal/trace"
 )
@@ -25,6 +27,11 @@ type AMIDJIterator struct {
 	maxd      float64
 	exhausted bool
 	err       error
+	// modeLabel names the source of the current stage cutoff for the
+	// registry's eDmax-accuracy sample: "initial" (Eq. 3), "arithmetic"
+	// (Eq. 4), "geometric" (Eq. 5), or "override" (caller-supplied
+	// EDmax / EDmaxForK).
+	modeLabel string
 }
 
 // AMIDJ starts the adaptive multi-stage incremental distance join;
@@ -45,26 +52,37 @@ func AMIDJ(left, right *rtree.Tree, opts Options) (*AMIDJIterator, error) {
 		stageK:  batch,
 		maxd:    c.exhaustiveDist(),
 	}
+	c.algo = "AM-IDJ"
+	c.beginQuery(batch)
 	if c.left.Size() == 0 || c.right.Size() == 0 {
 		it.exhausted = true
+		c.endQuery(nil)
 		return it, nil
 	}
 	switch {
 	case opts.EDmax > 0:
 		it.eDmax = opts.EDmax
+		it.modeLabel = obsrv.ModeOverride
 	case opts.EDmaxForK != nil:
 		it.eDmax = opts.EDmaxForK(batch, 0, 0)
+		it.modeLabel = obsrv.ModeOverride
 	default:
 		it.eDmax = c.est.Initial(batch)
+		it.modeLabel = obsrv.ModeInitial
 	}
 	if it.eDmax > it.maxd {
 		it.eDmax = it.maxd
 	}
-	c.algo = "AM-IDJ"
 	c.traceStage(trace.KindStageStart, "stage-1", it.eDmax, 0)
 	c.push(c.rootPair())
 	return it, nil
 }
+
+// Close completes the query's registry entry (latency, counters,
+// error outcome). It is idempotent and safe on iterators without a
+// registry; Next's terminal paths call it implicitly, so Close is
+// only required when abandoning an iterator early.
+func (it *AMIDJIterator) Close() { it.c.endQuery(it.err) }
 
 // Produced returns the number of results emitted so far.
 func (it *AMIDJIterator) Produced() int { return it.produced }
@@ -84,16 +102,19 @@ func (it *AMIDJIterator) Next() (Result, bool) {
 	for {
 		if err := it.c.cancelled(); err != nil {
 			it.err = err
+			it.Close()
 			return Result{}, false
 		}
 		p, ok := it.c.queue.Pop()
 		if !ok {
 			if err := it.c.queue.Err(); err != nil {
 				it.err = it.c.traceError(err)
+				it.Close()
 				return Result{}, false
 			}
 			if !it.advanceStage() {
 				it.exhausted = true
+				it.Close()
 				return Result{}, false
 			}
 			continue
@@ -112,6 +133,7 @@ func (it *AMIDJIterator) Next() (Result, bool) {
 			}
 			if !it.advanceStage() {
 				it.exhausted = true
+				it.Close()
 				return Result{}, false
 			}
 			continue
@@ -124,6 +146,11 @@ func (it *AMIDJIterator) Next() (Result, bool) {
 			it.produced++
 			it.lastDist = p.Dist
 			it.c.mc.AddResult(1)
+			if it.produced == it.stageK {
+				// The stage cutoff was estimated to yield stageK results;
+				// the stageK-th distance just realized is its ground truth.
+				it.c.recordEstimate(it.eDmax, p.Dist, it.modeLabel)
+			}
 			return pairResult(p), true
 		}
 		expand := it.expand
@@ -132,6 +159,7 @@ func (it *AMIDJIterator) Next() (Result, bool) {
 		}
 		if err := expand(p); err != nil {
 			it.err = err
+			it.Close()
 			return Result{}, false
 		}
 	}
@@ -224,10 +252,27 @@ func (it *AMIDJIterator) advanceStage() bool {
 	switch {
 	case it.c.opts.EDmaxForK != nil:
 		next = it.c.opts.EDmaxForK(it.stageK, it.produced, it.lastDist)
+		it.modeLabel = obsrv.ModeOverride
 	case it.produced > 0 && it.lastDist > 0:
 		next = it.c.est.Correct(it.c.opts.Correction, it.stageK, it.produced, it.lastDist)
+		if it.c.rq != nil {
+			// Resolve which equation won under the combined modes so the
+			// registry can attribute the accuracy sample: re-evaluate the
+			// pure Eq. 4 / Eq. 5 corrections and match. (Only done with a
+			// registry attached; the comparison costs two extra estimator
+			// calls.)
+			switch next {
+			case it.c.est.Correct(estimate.ArithmeticOnly, it.stageK, it.produced, it.lastDist):
+				it.modeLabel = obsrv.ModeArithmetic
+			case it.c.est.Correct(estimate.GeometricOnly, it.stageK, it.produced, it.lastDist):
+				it.modeLabel = obsrv.ModeGeometric
+			default:
+				it.modeLabel = it.c.opts.Correction.String()
+			}
+		}
 	default:
 		next = it.c.est.Initial(it.stageK)
+		it.modeLabel = obsrv.ModeInitial
 	}
 	// Guarantee strict progress toward the exhaustive bound.
 	if next <= it.eDmax {

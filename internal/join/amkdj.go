@@ -2,6 +2,7 @@ package join
 
 import (
 	"distjoin/internal/hybridq"
+	"distjoin/internal/obsrv"
 	"distjoin/internal/rtree"
 	"distjoin/internal/sweep"
 	"distjoin/internal/trace"
@@ -28,7 +29,7 @@ type compInfo struct {
 // estimated eDmax, followed — only if needed — by a compensation stage
 // that re-expands the bookkept pairs, skipping the child pairs already
 // examined.
-func AMKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
+func AMKDJ(left, right *rtree.Tree, k int, opts Options) (results []Result, err error) {
 	c, err := newContext(left, right, opts)
 	if err != nil {
 		return nil, err
@@ -37,6 +38,8 @@ func AMKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 		return nil, nil
 	}
 	c.algo = "AM-KDJ"
+	c.beginQuery(k)
+	defer func() { c.endQuery(err) }() // after mc.Finish (LIFO), so WallTime is set
 	c.mc.Start()
 	defer c.mc.Finish()
 	if c.par != nil {
@@ -45,12 +48,17 @@ func AMKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 
 	ct := newCutoffTracker(c, k, c.dqPolicy)
 	eDmax := opts.EDmax
+	estMode := obsrv.ModeOverride
 	if eDmax <= 0 {
 		eDmax = c.est.Initial(k) // Eq. 3 (or the configured estimator)
+		estMode = obsrv.ModeInitial
 	}
+	// The initial estimate, kept for the accuracy sample recorded once
+	// the realized k-th distance is known.
+	est0 := eDmax
 	c.traceStage(trace.KindStageStart, "aggressive", eDmax, 0)
 
-	results := make([]Result, 0, k)
+	results = make([]Result, 0, k)
 	var compList []*compInfo
 	compMap := make(map[pairKey]*compInfo)
 
@@ -158,6 +166,9 @@ func AMKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 	}
 	if err := c.queue.Err(); err != nil {
 		return nil, c.traceError(err)
+	}
+	if len(results) == k {
+		c.recordEstimate(est0, results[k-1].Dist, estMode)
 	}
 	return results, nil
 }

@@ -8,7 +8,7 @@ import (
 // BKDJ runs the B-KDJ algorithm of paper §3 (Algorithm 1): k-distance
 // join with bidirectional node expansion and the optimized plane sweep.
 // It returns the k nearest pairs in nondecreasing distance order.
-func BKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
+func BKDJ(left, right *rtree.Tree, k int, opts Options) (results []Result, err error) {
 	c, err := newContext(left, right, opts)
 	if err != nil {
 		return nil, err
@@ -17,6 +17,8 @@ func BKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 		return nil, nil
 	}
 	c.algo, c.stage = "B-KDJ", "sweep"
+	c.beginQuery(k)
+	defer func() { c.endQuery(err) }()
 	c.mc.Start()
 	defer c.mc.Finish()
 	if c.par != nil {
@@ -24,7 +26,7 @@ func BKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 	}
 
 	ct := newCutoffTracker(c, k, c.dqPolicy)
-	results := make([]Result, 0, k)
+	results = make([]Result, 0, k)
 	if c.push(c.rootPair()) {
 		ct.OnPush(c.rootPair())
 	}

@@ -16,7 +16,7 @@ import (
 
 // HSKDJ runs the baseline k-distance join and returns the k nearest
 // pairs in nondecreasing distance order.
-func HSKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
+func HSKDJ(left, right *rtree.Tree, k int, opts Options) (results []Result, err error) {
 	c, err := newContext(left, right, opts)
 	if err != nil {
 		return nil, err
@@ -25,13 +25,15 @@ func HSKDJ(left, right *rtree.Tree, k int, opts Options) ([]Result, error) {
 		return nil, nil
 	}
 	c.algo, c.stage = "HS-KDJ", "expand"
+	c.beginQuery(k)
+	defer func() { c.endQuery(err) }()
 	c.mc.Start()
 	defer c.mc.Finish()
 
 	// HS-KDJ prunes with the all-pairs distance queue of [13]: every
 	// enqueued pair contributes an upper bound, retired on expansion.
 	ct := newCutoffTracker(c, k, AllPairs)
-	results := make([]Result, 0, k)
+	results = make([]Result, 0, k)
 	if c.push(c.rootPair()) {
 		ct.OnPush(c.rootPair())
 	}
@@ -144,14 +146,21 @@ func HSIDJ(left, right *rtree.Tree, opts Options) (*HSIDJIterator, error) {
 		return nil, err
 	}
 	c.algo, c.stage = "HS-IDJ", "expand"
+	c.beginQuery(0)
 	it := &HSIDJIterator{c: c}
 	if c.left.Size() == 0 || c.right.Size() == 0 {
 		it.done = true
+		c.endQuery(nil)
 		return it, nil
 	}
 	c.push(c.rootPair())
 	return it, nil
 }
+
+// Close completes the query's registry entry. It is idempotent; Next's
+// terminal paths call it implicitly, so Close is only required when
+// abandoning an iterator early.
+func (it *HSIDJIterator) Close() { it.c.endQuery(it.err) }
 
 // Next returns the next nearest pair. ok is false when the join is
 // exhausted or an error occurred (check Err).
@@ -163,12 +172,14 @@ func (it *HSIDJIterator) Next() (Result, bool) {
 		if err := it.c.cancelled(); err != nil {
 			it.err = err
 			it.done = true
+			it.Close()
 			return Result{}, false
 		}
 		p, ok := it.c.queue.Pop()
 		if !ok {
 			it.err = it.c.traceError(it.c.queue.Err())
 			it.done = true
+			it.Close()
 			return Result{}, false
 		}
 		if p.IsResult() {
@@ -182,6 +193,7 @@ func (it *HSIDJIterator) Next() (Result, bool) {
 		if err := it.c.hsExpand(p, nil); err != nil {
 			it.err = err
 			it.done = true
+			it.Close()
 			return Result{}, false
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"distjoin/internal/geom"
 	"distjoin/internal/hybridq"
 	"distjoin/internal/metrics"
+	"distjoin/internal/obsrv"
 	"distjoin/internal/rtree"
 	"distjoin/internal/storage"
 	"distjoin/internal/trace"
@@ -161,6 +162,17 @@ type Options struct {
 	// at the batch barriers in task order, so installing a tracer
 	// never perturbs results.
 	Trace *trace.Tracer
+	// Registry, when non-nil, receives process-level observability for
+	// the query: a live in-flight entry (algorithm, k, stage, current
+	// eDmax, queue depth, elapsed) updated at a bounded rate while the
+	// query runs, and — on completion — the query's latency, its
+	// metrics.Collector counters, and eDmax-estimator accuracy samples,
+	// aggregated per algorithm into log-bucketed histograms. A nil
+	// registry is a zero-alloc no-op on the hot path, the same
+	// discipline as Trace. When Registry is set but Metrics is nil, a
+	// private collector is allocated so the registry still receives
+	// counters.
+	Registry *obsrv.Registry
 }
 
 // AutoParallelism requests one expansion worker per available CPU
@@ -210,6 +222,7 @@ type execContext struct {
 	ex          expander       // serial expansion state (scratch + main collector)
 	par         *parallelState // non-nil when Options.Parallelism resolves to > 1
 	tr          *trace.Tracer  // optional event sink (nil = no-op)
+	rq          *obsrv.Query   // live registry handle (nil = no-op)
 	algo        string         // trace label: running algorithm
 	stage       string         // trace label: current stage
 }
@@ -246,6 +259,11 @@ func newContext(left, right *rtree.Tree, opts Options) (*execContext, error) {
 		right.Bounds(), max(right.Size(), 1))
 	if err != nil {
 		return nil, err
+	}
+	// When a registry is attached but no collector was supplied, run
+	// with a private one so the registry still aggregates counters.
+	if opts.Registry != nil && opts.Metrics == nil {
+		opts.Metrics = &metrics.Collector{}
 	}
 	ctx := &execContext{
 		left:        left,
@@ -444,9 +462,12 @@ func (c *execContext) traceExpansion(p hybridq.Pair, eDmax float64, children int
 }
 
 // traceStage emits a stage_start or stage_end event carrying the
-// currently active eDmax and a result/queue count.
+// currently active eDmax and a result/queue count, and mirrors the
+// stage transition to the live registry entry.
 func (c *execContext) traceStage(kind trace.Kind, stage string, eDmax float64, count int64) {
 	c.stage = stage
+	c.rq.SetStage(stage)
+	c.rq.SetEDmax(eDmax)
 	if !c.tr.Enabled() {
 		return
 	}
@@ -454,9 +475,14 @@ func (c *execContext) traceStage(kind trace.Kind, stage string, eDmax float64, c
 }
 
 // traceEDmax emits an edmax_update event when the cutoff strictly
-// tightens (old > new), recording both values.
+// tightens (old > new), recording both values, and mirrors the new
+// cutoff to the live registry entry.
 func (c *execContext) traceEDmax(old, new float64) {
-	if !c.tr.Enabled() || !(new < old) {
+	if !(new < old) {
+		return
+	}
+	c.rq.SetEDmax(new)
+	if !c.tr.Enabled() {
 		return
 	}
 	c.tr.Emit(trace.Event{Kind: trace.KindEDmaxUpdate, Algo: c.algo, Stage: c.stage, EDmax: new, Dist: old})
@@ -474,17 +500,53 @@ func (c *execContext) traceError(err error) error {
 // cancelEvery bounds how many pops happen between cancellation polls.
 const cancelEvery = 256
 
+// progressEvery bounds how many pops happen between live-registry
+// queue-depth samples. A multiple/divisor relationship with
+// cancelEvery is not required; the two hooks tick independently off
+// the same counter.
+const progressEvery = 64
+
 // cancelled polls the configured context at a bounded rate, returning
-// its error once it fires.
+// its error once it fires. It doubles as the live-progress heartbeat:
+// every progressEvery calls it samples the main queue's depth into
+// the registry entry. With neither a context nor a registry attached
+// it stays a branch-and-increment no-op.
 func (c *execContext) cancelled() error {
-	if c.opts.Context == nil {
+	if c.opts.Context == nil && c.rq == nil {
 		return nil
 	}
 	c.cancelTick++
-	if c.cancelTick%cancelEvery != 0 {
+	if c.rq != nil && c.cancelTick%progressEvery == 0 {
+		mem, disk, segs := c.queue.Depth()
+		c.rq.SetQueueDepth(mem, disk, segs)
+	}
+	if c.opts.Context == nil || c.cancelTick%cancelEvery != 0 {
 		return nil
 	}
 	return c.opts.Context.Err()
+}
+
+// beginQuery registers the query with the configured registry (a nil
+// registry yields a nil handle; every handle method is a nil-safe
+// no-op). Callers pair it with a deferred endQuery *registered before*
+// mc.Start's deferred Finish, so Finish runs first and the collector's
+// WallTime is populated when the registry folds it in.
+func (c *execContext) beginQuery(k int) {
+	c.rq = c.opts.Registry.Begin(c.algo, k)
+}
+
+// endQuery completes the registry entry, folding in the final counters
+// and the error outcome. Idempotent: safe to call from both an
+// iterator's terminal paths and its Close.
+func (c *execContext) endQuery(err error) {
+	c.rq.End(c.mc, err)
+}
+
+// recordEstimate reports one eDmax-estimator accuracy sample — the
+// estimated cutoff against the realized k-th distance — to the
+// registry. No-op without a registry.
+func (c *execContext) recordEstimate(estimated, actual float64, mode string) {
+	c.rq.RecordEstimate(estimated, actual, mode)
 }
 
 // exhaustiveDist is a conservative upper bound on any pair distance in

@@ -50,6 +50,7 @@ import (
 
 	"distjoin/internal/hybridq"
 	"distjoin/internal/metrics"
+	"distjoin/internal/obsrv"
 	"distjoin/internal/rtree"
 	"distjoin/internal/trace"
 )
@@ -404,9 +405,12 @@ func amkdjParallel(c *execContext, k int, opts Options) ([]Result, error) {
 	ct := newCutoffTracker(c, k, c.dqPolicy)
 	live := ct.LiveCutoff
 	eDmax := opts.EDmax
+	estMode := obsrv.ModeOverride
 	if eDmax <= 0 {
 		eDmax = c.est.Initial(k) // Eq. 3 (or the configured estimator)
+		estMode = obsrv.ModeInitial
 	}
+	est0 := eDmax
 	c.traceStage(trace.KindStageStart, "aggressive", eDmax, 0)
 	results := make([]Result, 0, k)
 	var compList []*compInfo
@@ -545,6 +549,9 @@ func amkdjParallel(c *execContext, k int, opts Options) ([]Result, error) {
 	}
 	if err := c.queue.Err(); err != nil {
 		return nil, c.traceError(err)
+	}
+	if len(results) == k {
+		c.recordEstimate(est0, results[k-1].Dist, estMode)
 	}
 	return results, nil
 }

@@ -13,7 +13,7 @@ import (
 // the first k. As in the paper, dmax plays the role of an *oracle*:
 // the experiments feed it the real distance of the k-th nearest pair,
 // an assumption favorable to this baseline.
-func SJSort(left, right *rtree.Tree, k int, dmax float64, opts Options) ([]Result, error) {
+func SJSort(left, right *rtree.Tree, k int, dmax float64, opts Options) (results []Result, err error) {
 	c, err := newContext(left, right, opts)
 	if err != nil {
 		return nil, err
@@ -21,6 +21,9 @@ func SJSort(left, right *rtree.Tree, k int, dmax float64, opts Options) ([]Resul
 	if k <= 0 || c.left.Size() == 0 || c.right.Size() == 0 {
 		return nil, nil
 	}
+	c.algo, c.stage = "SJ-SORT", "spatial-join"
+	c.beginQuery(k)
+	defer func() { c.endQuery(err) }()
 	c.mc.Start()
 	defer c.mc.Finish()
 
@@ -76,11 +79,13 @@ func SJSort(left, right *rtree.Tree, k int, dmax float64, opts Options) ([]Resul
 	}
 
 	// Phase two: external sort, then emit the first k.
+	c.stage = "sort"
+	c.rq.SetStage("sort")
 	it, err := sorter.Sort()
 	if err != nil {
 		return nil, err
 	}
-	results := make([]Result, 0, k)
+	results = make([]Result, 0, k)
 	for len(results) < k {
 		p, ok := it.Next()
 		if !ok {

@@ -22,7 +22,7 @@ import (
 // every comparison false, which would silently stream the full cross
 // product). A +Inf threshold is valid and means "no distance limit" —
 // every pair is produced.
-func WithinJoin(left, right *rtree.Tree, maxDist float64, opts Options, fn func(Result) bool) error {
+func WithinJoin(left, right *rtree.Tree, maxDist float64, opts Options, fn func(Result) bool) (err error) {
 	if fn == nil {
 		return fmt.Errorf("join: WithinJoin requires a callback")
 	}
@@ -37,6 +37,8 @@ func WithinJoin(left, right *rtree.Tree, maxDist float64, opts Options, fn func(
 		return nil
 	}
 	c.algo, c.stage = "WITHIN", "descend"
+	c.beginQuery(0)
+	defer func() { c.endQuery(err) }()
 	c.mc.Start()
 	defer c.mc.Finish()
 
@@ -99,7 +101,7 @@ func WithinJoin(left, right *rtree.Tree, maxDist float64, opts Options, fn func(
 // the right trade-off for the moderate result cardinalities this
 // library targets; the per-search node accesses are all recorded
 // against the collector.
-func AllNearest(left, right *rtree.Tree, opts Options, fn func(left Result) bool) error {
+func AllNearest(left, right *rtree.Tree, opts Options, fn func(left Result) bool) (err error) {
 	if fn == nil {
 		return fmt.Errorf("join: AllNearest requires a callback")
 	}
@@ -113,6 +115,9 @@ func AllNearest(left, right *rtree.Tree, opts Options, fn func(left Result) bool
 	if c.right.Size() == 0 {
 		return fmt.Errorf("join: AllNearest requires a non-empty right tree")
 	}
+	c.algo, c.stage = "ALL-NN", "scan"
+	c.beginQuery(1)
+	defer func() { c.endQuery(err) }()
 	c.mc.Start()
 	defer c.mc.Finish()
 
@@ -153,7 +158,7 @@ func AllNearest(left, right *rtree.Tree, opts Options, fn func(left Result) bool
 // batch shares the same LeftObj — and may return false to stop early.
 // Fewer than k neighbors are reported when the right tree is smaller
 // than k.
-func AllKNearest(left, right *rtree.Tree, k int, opts Options, fn func(neighbors []Result) bool) error {
+func AllKNearest(left, right *rtree.Tree, k int, opts Options, fn func(neighbors []Result) bool) (err error) {
 	if fn == nil {
 		return fmt.Errorf("join: AllKNearest requires a callback")
 	}
@@ -170,6 +175,9 @@ func AllKNearest(left, right *rtree.Tree, k int, opts Options, fn func(neighbors
 	if c.right.Size() == 0 {
 		return fmt.Errorf("join: AllKNearest requires a non-empty right tree")
 	}
+	c.algo, c.stage = "ALL-KNN", "scan"
+	c.beginQuery(k)
+	defer func() { c.endQuery(err) }()
 	c.mc.Start()
 	defer c.mc.Finish()
 

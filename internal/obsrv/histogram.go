@@ -1,0 +1,136 @@
+package obsrv
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a log-bucketed distribution: observations are counted
+// into buckets with exponentially growing upper bounds plus an
+// implicit +Inf overflow bucket, exactly the shape Prometheus
+// histogram exposition expects (`le` buckets are cumulative at export
+// time; see writePromHistogram). Log bucketing keeps the series count
+// small while preserving order-of-magnitude resolution across the
+// enormous dynamic range of join workloads — a k=10 query costs
+// thousands of distance computations, a k=100,000 query billions.
+//
+// p50/p90/p99 are derivable from the buckets (Quantile); the registry
+// does not store raw samples.
+//
+// A Histogram is not internally synchronized: the Registry mutates
+// and snapshots its histograms under the registry mutex, which is why
+// Observe stays branch-and-add cheap.
+type Histogram struct {
+	bounds []float64 // ascending finite upper bounds (le values)
+	counts []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	total  uint64
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds:
+// start, start*factor, start*factor^2, ... — the standard Prometheus
+// exponential layout. start must be positive and factor > 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if !(start > 0) || !(factor > 1) || n < 1 {
+		panic(fmt.Sprintf("obsrv: invalid ExpBuckets(%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	b := start
+	for i := range out {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
+// NewHistogram returns a histogram over the given ascending finite
+// bucket bounds (the +Inf overflow bucket is implicit).
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obsrv: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe counts one observation. NaN observations are dropped (they
+// would poison the sum and fit no bucket).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += v
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1)
+// derived from the buckets: the upper bound of the bucket containing
+// the q*total-th observation. Observations in the overflow bucket
+// report +Inf; an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Snapshot returns a deep copy safe to read after the histogram keeps
+// mutating.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.total,
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram, the form the
+// exporters and the /debug/vars JSON consume.
+type HistogramSnapshot struct {
+	// Bounds holds the finite bucket upper bounds; Counts has one more
+	// entry than Bounds, the overflow (+Inf) bucket last. Counts are
+	// per-bucket (non-cumulative); exporters accumulate.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Quantile is Histogram.Quantile over a snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || !(q > 0) {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1) // unreachable: cum == Count >= rank
+}

@@ -1,0 +1,107 @@
+package obsrv
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(b) != len(want) {
+		t.Fatalf("got %v, want %v", b, want)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d: got %v, want %v", i, b[i], want[i])
+		}
+	}
+	for _, bad := range [](func()){
+		func() { ExpBuckets(0, 2, 4) },
+		func() { ExpBuckets(1, 1, 4) },
+		func() { ExpBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid ExpBuckets did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestHistogramObserveAndCounts(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 50, 1000, math.NaN()} {
+		h.Observe(v)
+	}
+	// NaN dropped: 5 observations.
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if want := 0.5 + 1 + 2 + 50 + 1000; h.Sum() != want {
+		t.Fatalf("Sum = %v, want %v", h.Sum(), want)
+	}
+	s := h.Snapshot()
+	wantCounts := []uint64{2, 1, 1, 1} // le=1: {0.5,1}; le=10: {2}; le=100: {50}; +Inf: {1000}
+	for i, c := range wantCounts {
+		if s.Counts[i] != c {
+			t.Fatalf("bucket %d count = %d, want %d (counts %v)", i, s.Counts[i], c, s.Counts)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 10)) // 1,2,4,...,512
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	if q := h.Quantile(0.5); q != 64 {
+		// rank 50 → observation 49 lands in bucket le=64.
+		t.Errorf("p50 = %v, want 64", q)
+	}
+	if q := h.Quantile(1); q != 128 {
+		t.Errorf("p100 = %v, want 128 (max observation 99 <= 128)", q)
+	}
+	if q := h.Quantile(0.01); q != 1 {
+		t.Errorf("p1 = %v, want 1", q)
+	}
+	// Overflow bucket reports +Inf.
+	h.Observe(1e9)
+	if q := h.Quantile(1); !math.IsInf(q, 1) {
+		t.Errorf("quantile in overflow bucket = %v, want +Inf", q)
+	}
+	// Degenerate inputs.
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+	if q := h.Snapshot().Quantile(0); q != 0 {
+		t.Errorf("q=0 quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramSnapshotIsDeepCopy(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	s := h.Snapshot()
+	h.Observe(0.5)
+	if s.Counts[0] != 1 {
+		t.Fatalf("snapshot mutated by later Observe: %v", s.Counts)
+	}
+	s.Counts[0] = 99
+	if h.Snapshot().Counts[0] != 2 {
+		t.Fatal("mutating a snapshot reached the live histogram")
+	}
+}
+
+func TestNewHistogramPanicsOnUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}

@@ -1,0 +1,138 @@
+package obsrv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// HTTP observability surface. Handler builds a mux over a Registry
+// exposing:
+//
+//	/metrics       Prometheus text exposition (WriteProm)
+//	/queries       live in-flight query inspector (JSON)
+//	/debug/vars    full registry snapshot + runtime stats (JSON)
+//	/debug/pprof/  the standard pprof handlers
+//	/healthz       liveness probe
+//	/              tiny plain-text index
+//
+// Every handler is snapshot-then-render: it deep-copies registry
+// state under the registry mutex (Registry.Snapshot) and renders from
+// the copy, so a query finishing — or the whole pool churning —
+// mid-render can never panic or torn-read the response. The handlers
+// are safe on a nil registry (they render the empty snapshot), so a
+// server can be mounted before any engine wiring exists.
+
+// Handler returns an http.Handler serving the observability
+// endpoints for reg. reg may be nil.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteProm(w); err != nil {
+			// Headers are already out; nothing useful to do but drop.
+			return
+		}
+	})
+	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
+		s := reg.Snapshot()
+		writeJSON(w, struct {
+			UptimeSeconds float64         `json:"uptime_seconds"`
+			InFlight      []QuerySnapshot `json:"in_flight"`
+		}{s.UptimeSeconds, s.InFlight})
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		s := reg.Snapshot()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		writeJSON(w, struct {
+			Snapshot
+			Runtime runtimeVars `json:"runtime"`
+		}{s, runtimeVars{
+			Goroutines:   runtime.NumGoroutine(),
+			HeapAlloc:    ms.HeapAlloc,
+			TotalAlloc:   ms.TotalAlloc,
+			Mallocs:      ms.Mallocs,
+			NumGC:        ms.NumGC,
+			PauseTotalNs: ms.PauseTotalNs,
+		}})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "distjoin observability\n\n"+
+			"/metrics       Prometheus text exposition\n"+
+			"/queries       in-flight query inspector (JSON)\n"+
+			"/debug/vars    registry snapshot + runtime stats (JSON)\n"+
+			"/debug/pprof/  pprof profiles\n"+
+			"/healthz       liveness probe\n")
+	})
+	return mux
+}
+
+// runtimeVars is the runtime block of /debug/vars.
+type runtimeVars struct {
+	Goroutines   int    `json:"goroutines"`
+	HeapAlloc    uint64 `json:"heap_alloc_bytes"`
+	TotalAlloc   uint64 `json:"total_alloc_bytes"`
+	Mallocs      uint64 `json:"mallocs"`
+	NumGC        uint32 `json:"num_gc"`
+	PauseTotalNs uint64 `json:"gc_pause_total_ns"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Snapshot values are finite by construction (RecordEstimate
+		// and Snapshot filter NaN/Inf); an error here means the client
+		// went away — nothing to do.
+		_ = err
+	}
+}
+
+// Server is a running observability HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr (e.g. ":9090" or
+// "127.0.0.1:0") serving Handler(reg). It returns once the listener
+// is bound; the accept loop runs in a background goroutine.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsrv: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close immediately shuts the server down, closing the listener and
+// any active connections.
+func (s *Server) Close() error { return s.srv.Close() }

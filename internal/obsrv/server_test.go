@@ -1,0 +1,173 @@
+package obsrv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distjoin/internal/metrics"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := populatedRegistry()
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: %d %q", code, body)
+	}
+	if code, body := get(t, srv, "/metrics"); code != 200 {
+		t.Errorf("/metrics: %d", code)
+	} else {
+		parsePromStrict(t, body) // served exposition must lint clean too
+	}
+	code, body := get(t, srv, "/queries")
+	if code != 200 {
+		t.Fatalf("/queries: %d", code)
+	}
+	var queries struct {
+		UptimeSeconds float64         `json:"uptime_seconds"`
+		InFlight      []QuerySnapshot `json:"in_flight"`
+	}
+	if err := json.Unmarshal([]byte(body), &queries); err != nil {
+		t.Fatalf("/queries not JSON: %v\n%s", err, body)
+	}
+	if len(queries.InFlight) != 1 || queries.InFlight[0].Algo != "B-KDJ" {
+		t.Errorf("/queries in-flight %+v, want the live B-KDJ query", queries.InFlight)
+	}
+
+	code, body = get(t, srv, "/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["runtime"]; !ok {
+		t.Errorf("/debug/vars missing runtime block: %v", vars)
+	}
+	if code, _ := get(t, srv, "/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/: %d", code)
+	}
+	if code, body := get(t, srv, "/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: %d %q", code, body)
+	}
+	if code, _ := get(t, srv, "/nonexistent"); code != http.StatusNotFound {
+		t.Errorf("/nonexistent: %d, want 404", code)
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+	for _, path := range []string{"/healthz", "/metrics", "/queries", "/debug/vars"} {
+		if code, _ := get(t, srv, path); code != 200 {
+			t.Errorf("nil registry %s: %d", path, code)
+		}
+	}
+}
+
+func TestServe(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz on %s: %v", s.Addr(), err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestHandlersUnderQueryChurn is the no-panic-on-finish guard: handlers
+// snapshot-then-render, so a pool of queries beginning, progressing,
+// and ending as fast as possible must never panic or corrupt a
+// response. Run under -race in CI.
+func TestHandlersUnderQueryChurn(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Churners: short-lived queries across several algorithms.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			algos := []string{"AM-KDJ", "AM-IDJ", "B-KDJ", "HS-KDJ"}
+			mc := &metrics.Collector{}
+			mc.AddRealDist(10)
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := reg.Begin(algos[(g+i)%len(algos)], 10+i%100)
+				q.SetStage("aggressive")
+				q.SetEDmax(float64(i%7) + 0.5)
+				q.SetQueueDepth(i%100, i%10, i%3)
+				q.RecordEstimate(1.0+float64(i%3), 1.5, ModeInitial)
+				q.End(mc, nil)
+				i++
+			}
+		}(g)
+	}
+
+	// Hammer every read surface while the pool churns.
+	deadline := time.Now().Add(750 * time.Millisecond)
+	paths := []string{"/metrics", "/queries", "/debug/vars", "/healthz"}
+	for time.Now().Before(deadline) {
+		for _, p := range paths {
+			code, body := get(t, srv, p)
+			if code != 200 {
+				t.Fatalf("%s during churn: %d", p, code)
+			}
+			if p == "/metrics" {
+				// Cheap consistency probe on every scrape; a full strict
+				// parse each round would dominate the churn window.
+				if !strings.HasPrefix(body, "# HELP distjoin_registry_uptime_seconds") {
+					t.Fatalf("scrape corrupted:\n%.200s", body)
+				}
+			}
+			if p == "/queries" && !json.Valid([]byte(body)) {
+				t.Fatalf("/queries produced invalid JSON during churn:\n%.200s", body)
+			}
+		}
+	}
+	// One full strict lint while still churning.
+	_, body := get(t, srv, "/metrics")
+	close(stop)
+	wg.Wait()
+	parsePromStrict(t, body)
+}

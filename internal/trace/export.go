@@ -179,6 +179,64 @@ func writePromSample(w io.Writer, name, help string, gauge bool, val float64) er
 	return err
 }
 
+// PromField is one Prometheus metric derivable from a
+// metrics.Collector snapshot — the unit the process-level registry
+// exporter (internal/obsrv) reuses to emit the same metric families
+// with per-algorithm labels. The set covers every exported Collector
+// field (by reflection, so new counters are never silently dropped)
+// plus the derived totals.
+type PromField struct {
+	// Name is the full Prometheus metric name ("distjoin_..." with
+	// the _total/_seconds suffix conventions of WriteMetricsProm).
+	Name string
+	// Help is the HELP text.
+	Help string
+	// Gauge marks non-monotone metrics (TYPE gauge vs counter).
+	Gauge bool
+	// Value extracts the sample value from a collector snapshot; a
+	// nil collector yields zero.
+	Value func(c *metrics.Collector) float64
+}
+
+// PromFields enumerates every metric WriteMetricsProm emits, in
+// emission order.
+func PromFields() []PromField {
+	out := make([]PromField, 0, len(collectorFields)+len(derivedMetrics))
+	for _, f := range collectorFields {
+		f := f
+		out = append(out, PromField{
+			Name:  f.Prom,
+			Help:  f.DocBrief,
+			Gauge: f.Gauge,
+			Value: func(c *metrics.Collector) float64 {
+				if c == nil {
+					return 0
+				}
+				raw := reflect.ValueOf(c).Elem().Field(f.Index).Int()
+				if f.Seconds {
+					return time.Duration(raw).Seconds()
+				}
+				return float64(raw)
+			},
+		})
+	}
+	for _, d := range derivedMetrics {
+		d := d
+		out = append(out, PromField{
+			Name:  d.Name,
+			Help:  d.Help,
+			Gauge: d.Gauge,
+			Value: func(c *metrics.Collector) float64 {
+				if c == nil {
+					return 0
+				}
+				return d.Value(c)
+			},
+		})
+	}
+	return out
+}
+
 // PromMetricNames returns the sorted metric names WriteMetricsProm
 // emits — exposed so tests (and documentation generators) can assert
 // export completeness.

@@ -3,9 +3,13 @@ package distjoin
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math"
 	"math/rand"
+	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -113,5 +117,142 @@ func TestTraceThroughFacade(t *testing.T) {
 		if par[i] != pairs[i] {
 			t.Fatalf("parallel traced pair %d = %+v, want %+v", i, par[i], pairs[i])
 		}
+	}
+}
+
+// TestRegistryThroughFacade is the PR's acceptance test: the
+// observability handler serves /metrics, /queries, /healthz, and
+// /debug/pprof/ concurrently with an 8-worker parallel join (run under
+// -race in CI), and the registry ends up with consistent aggregates.
+func TestRegistryThroughFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	left, err := NewIndex(randObjects(rng, 1500, 10000, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := NewIndex(randObjects(rng, 1200, 10000, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	srv := httptest.NewServer(ObservabilityHandler(reg))
+	defer srv.Close()
+
+	const rounds = 3
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errs := make(chan error, rounds)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			_, err := KDistanceJoin(left, right, 400, &Options{
+				Registry:    reg,
+				Parallelism: 8,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	// Hammer every endpoint while the parallel joins run.
+	joinsDone := make(chan struct{})
+	go func() { wg.Wait(); close(joinsDone) }()
+	paths := []string{"/metrics", "/queries", "/healthz", "/debug/pprof/"}
+	for done := false; !done; {
+		select {
+		case <-joinsDone:
+			done = true
+		default:
+		}
+		for _, p := range paths {
+			resp, err := srv.Client().Get(srv.URL + p)
+			if err != nil {
+				t.Fatalf("GET %s during parallel join: %v", p, err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != 200 {
+				t.Fatalf("GET %s during parallel join: status %d, read err %v", p, resp.StatusCode, err)
+			}
+			if p == "/queries" && !json.Valid(body) {
+				t.Fatalf("/queries invalid JSON during parallel join:\n%.200s", body)
+			}
+		}
+	}
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	s := reg.Snapshot()
+	if len(s.InFlight) != 0 {
+		t.Fatalf("in-flight after joins finished: %+v", s.InFlight)
+	}
+	if len(s.Algos) != 1 || s.Algos[0].Algo != "AM-KDJ" || s.Algos[0].Queries != rounds {
+		t.Fatalf("aggregates = %+v, want %d AM-KDJ queries", s.Algos, rounds)
+	}
+	if s.Algos[0].Latency.Count != rounds || s.Algos[0].EstimateRatio.Count != rounds {
+		t.Fatalf("histograms not fed: %+v", s.Algos[0])
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `distjoin_queries_total{algo="AM-KDJ"} `+strconv.Itoa(rounds)) {
+		t.Fatalf("/metrics missing the completed queries:\n%.400s", body)
+	}
+}
+
+// TestIteratorCloseEndsRegistryEntry: an incremental join abandoned
+// early stays in the live inspector until Close, which completes its
+// registry entry; double Close is harmless.
+func TestIteratorCloseEndsRegistryEntry(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	left, _ := NewIndex(randObjects(rng, 200, 1000, 10), nil)
+	right, _ := NewIndex(randObjects(rng, 150, 1000, 10), nil)
+
+	reg := NewRegistry()
+	it, err := IncrementalJoin(left, right, &Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.Next(); !ok {
+		t.Fatal("incremental join produced nothing")
+	}
+	if s := reg.Snapshot(); len(s.InFlight) != 1 {
+		t.Fatalf("in-flight = %+v, want the live incremental query", s.InFlight)
+	}
+	it.Close()
+	it.Close()
+	s := reg.Snapshot()
+	if len(s.InFlight) != 0 {
+		t.Fatalf("Close did not end the query: %+v", s.InFlight)
+	}
+	if len(s.Algos) != 1 || s.Algos[0].Queries != 1 {
+		t.Fatalf("aggregates after Close: %+v", s.Algos)
+	}
+	// Close on an iterator without a registry must also be safe.
+	it2, err := IncrementalJoin(left, right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it2.Close()
+}
+
+// TestDefaultRegistry pins the singleton behavior.
+func TestDefaultRegistry(t *testing.T) {
+	a, b := DefaultRegistry(), DefaultRegistry()
+	if a == nil || a != b {
+		t.Fatalf("DefaultRegistry not a singleton: %p vs %p", a, b)
 	}
 }
