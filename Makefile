@@ -2,7 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race cover fuzz fuzz-smoke bench bench-json bench-diff bench-baseline experiments examples ci clean
+.PHONY: all build vet lint test test-short race cover cover-check sim-smoke sim-soak fuzz fuzz-smoke bench bench-json bench-diff bench-baseline experiments examples ci clean
+
+# Coverage floor for the cover-check gate: the suite sits above 80%,
+# so the floor guards against untested subsystems landing, with a
+# little margin for statement-count drift.
+COVER_FLOOR ?= 78.0
+
+# Simulation-harness knobs (cmd/distjoin-sim): smoke runs in default
+# CI, soak runs nightly; SIM_POINTS samples fault-injection points per
+# (algorithm, target), 0 = exhaustive.
+SIM_SMOKE_DURATION ?= 30s
+SIM_SOAK_DURATION ?= 5m
+SIM_POINTS ?= 4
 
 # Continuous-benchmark knobs: the committed baseline was produced with
 # these values, so candidates must use the same ones to be comparable.
@@ -47,12 +59,33 @@ race:
 cover:
 	$(GO) test -cover ./...
 
+# Coverage floor gate: fails when total statement coverage drops below
+# COVER_FLOOR percent. Reuses coverage.out when the ci target already
+# produced it.
+cover-check:
+	@[ -f coverage.out ] || $(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	@total="$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% below floor $(COVER_FLOOR)%" >&2; exit 1; }
+
+# Time-boxed deterministic-simulation run (internal/simtest): seed
+# sweep with sampled fault-schedule exploration. The smoke tier gates
+# every PR; the soak tier is the nightly long haul under -race, with
+# the failing-seed repro line written where CI can upload it.
+sim-smoke:
+	$(GO) run ./cmd/distjoin-sim -duration $(SIM_SMOKE_DURATION) -faults -points $(SIM_POINTS)
+
+sim-soak:
+	$(GO) run -race ./cmd/distjoin-sim -duration $(SIM_SOAK_DURATION) -faults -points $(SIM_POINTS) -out sim-failures.txt
+
 # Run every fuzz target briefly.
 fuzz:
 	$(GO) test -fuzz=FuzzReadFrom -fuzztime=20s ./internal/datagen
 	$(GO) test -fuzz=FuzzDecodeNode -fuzztime=20s ./internal/rtree
 	$(GO) test -fuzz=FuzzPairRoundTrip -fuzztime=20s ./internal/hybridq
 	$(GO) test -fuzz=FuzzIndex -fuzztime=20s ./internal/sweep
+	$(GO) test -fuzz=FuzzScenario -fuzztime=20s ./internal/simtest
 
 # Shorter fuzz pass used by CI (10s per target).
 fuzz-smoke:
@@ -60,6 +93,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeNode -fuzztime=10s ./internal/rtree
 	$(GO) test -fuzz=FuzzPairRoundTrip -fuzztime=10s ./internal/hybridq
 	$(GO) test -fuzz=FuzzIndex -fuzztime=10s ./internal/sweep
+	$(GO) test -fuzz=FuzzScenario -fuzztime=10s ./internal/simtest
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -90,12 +124,14 @@ examples:
 	$(GO) run ./examples/serving -duration 3s
 
 # Everything the CI workflow (.github/workflows/ci.yml) runs, locally:
-# lint gate, build, tests with coverage, race detector, fuzz smoke,
-# bench regression gate.
+# lint gate, build, tests with coverage + floor gate, race detector,
+# simulation smoke, fuzz smoke, bench regression gate.
 ci: lint build
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
+	$(MAKE) cover-check
 	$(GO) test -race -short ./...
+	$(MAKE) sim-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-diff
 

@@ -1,0 +1,106 @@
+// Command distjoin-sim drives the deterministic simulation harness of
+// internal/simtest from the command line: seed sweeps, time-boxed
+// soaks, and one-shot reproduction of the -seed= / -schedule= repro
+// lines the harness prints on failure.
+//
+// Usage:
+//
+//	distjoin-sim -seed 1 -seeds 100             # check seeds 1..100
+//	distjoin-sim -duration 5m -faults           # soak until the clock runs out
+//	distjoin-sim -seed 1234                     # reproduce a logic failure
+//	distjoin-sim -seed 1234 -schedule AM-KDJ:reload:3   # reproduce a fault failure
+//
+// Fault exploration (-faults) samples -points injection points per
+// (algorithm, target); -points 0 explores every counted point, which
+// can be slow for the HS baselines under tight queue memory.
+//
+// Exit status is 0 when every scenario passes and 1 on the first
+// failure, whose one-line repro goes to stderr (and to -out when set,
+// so CI can upload the failing seeds as an artifact).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"distjoin/internal/simtest"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "first (or only) scenario seed")
+		seeds    = flag.Int("seeds", 1, "number of consecutive seeds to check")
+		duration = flag.Duration("duration", 0, "run until this much time has passed (overrides -seeds)")
+		schedule = flag.String("schedule", "", "reproduce one fault schedule (algo:target:point) against -seed")
+		faults   = flag.Bool("faults", false, "explore fault schedules for every checked seed")
+		points   = flag.Int("points", 8, "fault points sampled per (algorithm, target); 0 = exhaustive")
+		out      = flag.String("out", "", "write failure repro lines to this file")
+		verbose  = flag.Bool("v", false, "print every scenario as it runs")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "distjoin-sim: unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		if *out != "" {
+			if werr := os.WriteFile(*out, []byte(err.Error()+"\n"), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "distjoin-sim: writing %s: %v\n", *out, werr)
+			}
+		}
+		os.Exit(1)
+	}
+
+	// One-shot schedule reproduction.
+	if *schedule != "" {
+		sched, err := simtest.ParseSchedule(*schedule)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distjoin-sim: %v\n", err)
+			os.Exit(2)
+		}
+		s := simtest.FromSeed(*seed)
+		if *verbose {
+			fmt.Printf("running %s under schedule %s\n", s, sched)
+		}
+		if err := simtest.RunSchedule(s, sched); err != nil {
+			fail(err)
+		}
+		fmt.Printf("ok: seed=%d schedule=%s fails closed\n", *seed, sched)
+		return
+	}
+
+	start := time.Now()
+	var deadline time.Time
+	if *duration > 0 {
+		deadline = start.Add(*duration)
+	}
+	checked := 0
+	for cur := *seed; ; cur++ {
+		if deadline.IsZero() {
+			if checked >= *seeds {
+				break
+			}
+		} else if !time.Now().Before(deadline) {
+			break
+		}
+		s := simtest.FromSeed(cur)
+		if *verbose {
+			fmt.Printf("checking %s\n", s)
+		}
+		if err := simtest.Check(s); err != nil {
+			fail(err)
+		}
+		if *faults {
+			if err := simtest.ExploreFaults(s, simtest.ExploreOpts{MaxPointsPerTarget: *points}); err != nil {
+				fail(err)
+			}
+		}
+		checked++
+	}
+	fmt.Printf("ok: %d scenarios checked in %v (faults=%v)\n", checked, time.Since(start).Round(time.Millisecond), *faults)
+}

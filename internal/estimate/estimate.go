@@ -63,7 +63,16 @@ func (m Model) CorrectArithmetic(k, k0 int, dK0 float64) float64 {
 	if k <= k0 {
 		return dK0
 	}
-	return math.Sqrt(dK0*dK0 + float64(k-k0)*m.rho)
+	d2 := dK0*dK0 + float64(k-k0)*m.rho
+	if math.IsInf(d2, 1) {
+		// dK0^2 (or the correction term) overflowed even though the
+		// true result is representable: recompute overflow-free as
+		// hypot(dK0, sqrt((k-k0)*rho)). Kept off the common path so
+		// in-range estimates stay bit-identical to the direct formula
+		// (the deterministic benchmark counters depend on it).
+		return math.Hypot(dK0, math.Sqrt(float64(k-k0)*m.rho))
+	}
+	return math.Sqrt(d2)
 }
 
 // CorrectGeometric returns the Eq. 5 correction:

@@ -1,0 +1,132 @@
+package hybridq
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"distjoin/internal/storage"
+)
+
+// faultQueue builds a queue whose memory budget forces disk traffic
+// for a few hundred pairs.
+func faultQueue(t *testing.T, hook func(FaultOp) error) *Queue {
+	t.Helper()
+	return New(Config{
+		MemBytes:  8 * RecordSize,
+		Store:     storage.NewMemStore(1024),
+		FaultHook: hook,
+	})
+}
+
+// TestFaultHookFires pins the hook contract: under a tight memory
+// budget a push/pop workload crosses both transitions, the hook sees
+// every spill and reload, and a nil-returning hook never perturbs the
+// queue's ordering.
+func TestFaultHookFires(t *testing.T) {
+	var spills, reloads int
+	q := faultQueue(t, func(op FaultOp) error {
+		switch op {
+		case FaultSpill:
+			spills++
+		case FaultReload:
+			reloads++
+		default:
+			t.Fatalf("unknown op %v", op)
+		}
+		return nil
+	})
+	rng := rand.New(rand.NewSource(1))
+	const n = 300
+	for i := 0; i < n; i++ {
+		q.Push(Pair{Dist: rng.Float64() * 1000, Left: uint64(i), LeftObj: true, RightObj: true})
+	}
+	if spills == 0 {
+		t.Fatalf("no spills with an 8-record budget and %d pushes", n)
+	}
+	prev := -1.0
+	for i := 0; i < n; i++ {
+		p, ok := q.Pop()
+		if !ok {
+			t.Fatalf("pop %d: queue empty early (err=%v)", i, q.Err())
+		}
+		if p.Dist < prev {
+			t.Fatalf("pop %d: dist %g < previous %g", i, p.Dist, prev)
+		}
+		prev = p.Dist
+	}
+	if reloads == 0 {
+		t.Fatal("no reloads after draining a spilled queue")
+	}
+	if err := q.Err(); err != nil {
+		t.Fatalf("clean run latched error: %v", err)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop beyond exhaustion succeeded")
+	}
+}
+
+// TestFaultHookOpString pins the schedule-name rendering.
+func TestFaultHookOpString(t *testing.T) {
+	if FaultSpill.String() != "spill" || FaultReload.String() != "reload" {
+		t.Fatalf("op names: %v %v", FaultSpill, FaultReload)
+	}
+	if FaultOp(99).String() == "" {
+		t.Fatal("unknown op renders empty")
+	}
+}
+
+// TestFaultHookErrorLatches drives the hook through every transition
+// index in turn and proves fail-closed behavior at each: the hook's
+// error latches the queue (Err reports it, wrapped), and all further
+// operations are no-ops rather than panics or silent corruption.
+func TestFaultHookErrorLatches(t *testing.T) {
+	sentinel := errors.New("injected transition fault")
+	for _, op := range []FaultOp{FaultSpill, FaultReload} {
+		for point := 0; ; point++ {
+			var seen int
+			fired := false
+			q := faultQueue(t, func(got FaultOp) error {
+				if got != op {
+					return nil
+				}
+				i := seen
+				seen++
+				if i == point {
+					fired = true
+					return fmt.Errorf("%s at %d: %w", got, i, sentinel)
+				}
+				return nil
+			})
+			rng := rand.New(rand.NewSource(7))
+			const n = 200
+			for i := 0; i < n; i++ {
+				q.Push(Pair{Dist: rng.Float64() * 1000, Left: uint64(i), LeftObj: true, RightObj: true})
+			}
+			for i := 0; i < n; i++ {
+				if _, ok := q.Pop(); !ok {
+					break
+				}
+			}
+			if !fired {
+				if point == 0 {
+					t.Fatalf("%s: workload never reached transition 0", op)
+				}
+				break // explored every reachable point for this op
+			}
+			err := q.Err()
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("%s point %d: Err() = %v, want wrapped sentinel", op, point, err)
+			}
+			// Latched: every subsequent operation is a no-op.
+			q.Push(Pair{Dist: 1, LeftObj: true, RightObj: true})
+			if _, ok := q.Pop(); ok {
+				t.Fatalf("%s point %d: Pop succeeded after latched failure", op, point)
+			}
+			if !errors.Is(q.Err(), sentinel) {
+				t.Fatalf("%s point %d: error not sticky", op, point)
+			}
+		}
+	}
+}

@@ -31,6 +31,7 @@ type Queue struct {
 	mc       *metrics.Collector
 	ioCost   metrics.IOCostModel
 	tr       *trace.Tracer
+	fault    func(op FaultOp) error
 	err      error
 	// splitFloor suppresses pointless re-splits: when a split finds the
 	// whole heap sharing one distance (nothing spillable without
@@ -45,6 +46,32 @@ type Queue struct {
 	// the queue safe under -race for any future caller that does share
 	// it across goroutines. Nil when the queue is single-goroutine.
 	mu *sync.Mutex
+}
+
+// FaultOp identifies one injectable disk-path operation of the queue,
+// used by failure-injection tests (join fault tests, internal/simtest)
+// to enumerate and fail every spill/reload point deterministically.
+type FaultOp int
+
+const (
+	// FaultSpill fires when a heap split actually moves pairs to a
+	// disk segment (splitHeap with a non-empty spilled tail).
+	FaultSpill FaultOp = iota
+	// FaultReload fires when a drained heap swaps a disk segment back
+	// in (swapIn with at least one segment available).
+	FaultReload
+)
+
+// String names the operation for schedule printing ("spill"/"reload").
+func (op FaultOp) String() string {
+	switch op {
+	case FaultSpill:
+		return "spill"
+	case FaultReload:
+		return "reload"
+	default:
+		return "unknown"
+	}
 }
 
 // segment is one on-disk unsorted pile covering the distance range
@@ -82,6 +109,16 @@ type Config struct {
 	// with the memory-vs-disk segment depth at each heap split and
 	// segment swap-in. Nil costs nothing.
 	Trace *trace.Tracer
+	// FaultHook, when non-nil, is invoked at the start of every
+	// spill (heap split moving pairs to disk) and reload (segment
+	// swap-in). Returning a non-nil error aborts the operation and
+	// latches the queue into its failed state, exactly as a storage
+	// error would. This is the failure-injection surface used by the
+	// deterministic simulation harness: unlike store-level faults it
+	// fires even when segment pages are still sitting in write
+	// buffers, so every logical disk transition is a schedulable
+	// fault point. Nil costs nothing.
+	FaultHook func(op FaultOp) error
 }
 
 // New returns an empty hybrid queue.
@@ -112,6 +149,7 @@ func New(cfg Config) *Queue {
 		mc:       cfg.Metrics,
 		ioCost:   cfg.IOCost,
 		tr:       cfg.Trace,
+		fault:    cfg.FaultHook,
 	}
 	if cfg.Concurrent {
 		q.mu = new(sync.Mutex)
@@ -254,6 +292,15 @@ func (q *Queue) splitHeap() {
 		return
 	}
 
+	// An actual spill is about to happen: give the fault hook its
+	// deterministic injection point before any state is mutated, so a
+	// failed spill leaves the heap intact and the error latched.
+	if q.fault != nil {
+		if err := q.fault(FaultSpill); err != nil {
+			q.err = err
+			return
+		}
+	}
 	hi := q.memBound
 	q.memBound = bound
 	q.splitFloor = 0
@@ -405,6 +452,14 @@ func (q *Queue) allocPage() (storage.PageID, error) {
 func (q *Queue) swapIn() bool {
 	if len(q.segs) == 0 || q.err != nil {
 		return false
+	}
+	// A reload is about to happen: injection point before any state is
+	// mutated, so a failed reload leaves segments intact and latches.
+	if q.fault != nil {
+		if err := q.fault(FaultReload); err != nil {
+			q.err = err
+			return false
+		}
 	}
 	seg := q.segs[0]
 	q.segs = q.segs[1:]

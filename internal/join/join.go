@@ -162,6 +162,16 @@ type Options struct {
 	// at the batch barriers in task order, so installing a tracer
 	// never perturbs results.
 	Trace *trace.Tracer
+	// QueueFaultHook, when non-nil, is handed to the hybrid main queue
+	// as hybridq.Config.FaultHook: it fires at every spill (heap split
+	// moving pairs to disk) and reload (segment swap-in), and a non-nil
+	// return latches the queue into its failed state. It exists for
+	// failure-injection testing (internal/simtest and the join fault
+	// tests) — unlike QueueStore-level faults it fires even when
+	// segment pages never leave their write buffers, so every logical
+	// disk transition of the queue is a schedulable fault point. Nil
+	// costs nothing.
+	QueueFaultHook func(op hybridq.FaultOp) error
 	// Registry, when non-nil, receives process-level observability for
 	// the query: a live in-flight entry (algorithm, k, stage, current
 	// eDmax, queue depth, elapsed) updated at a bounded rate while the
@@ -301,6 +311,7 @@ func newContext(left, right *rtree.Tree, opts Options) (*execContext, error) {
 		// queue's internal lock as defense in depth.
 		Concurrent: ctx.par != nil,
 		Trace:      opts.Trace,
+		FaultHook:  opts.QueueFaultHook,
 	})
 	return ctx, nil
 }

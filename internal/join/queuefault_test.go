@@ -1,0 +1,177 @@
+package join
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"distjoin/internal/datagen"
+	"distjoin/internal/geom"
+	"distjoin/internal/hybridq"
+	"distjoin/internal/rtree"
+)
+
+// queueFaultTrees builds a join whose main queue is forced onto disk:
+// enough pairs and a tiny QueueMemBytes so both spill and reload
+// transitions happen during a k-distance join.
+func queueFaultTrees(t *testing.T) (*rtree.Tree, *rtree.Tree) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4242))
+	w := geom.NewRect(0, 0, 1000, 1000)
+	l := datagen.Uniform(rng.Int63(), 400, w, 10)
+	r := datagen.Uniform(rng.Int63(), 400, w, 10)
+	return buildTree(t, l, 16), buildTree(t, r, 16)
+}
+
+// tightQueueOpts forces hybrid-queue disk traffic.
+func tightQueueOpts(hook func(hybridq.FaultOp) error) Options {
+	return Options{QueueMemBytes: 16 * hybridq.RecordSize, QueueFaultHook: hook}
+}
+
+// TestQueueFaultHookSurfacesInAMKDJ proves the queue-transition fault
+// hook is a real fault point for AM-KDJ: the clean run counts spills
+// and reloads, then each transition is failed in turn and the join
+// must return an error wrapping the injected one — not truncated
+// results.
+func TestQueueFaultHookSurfacesInAMKDJ(t *testing.T) {
+	left, right := queueFaultTrees(t)
+	const k = 300
+
+	var spills, reloads int
+	ref, err := AMKDJ(left, right, k, tightQueueOpts(func(op hybridq.FaultOp) error {
+		if op == hybridq.FaultSpill {
+			spills++
+		} else {
+			reloads++
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != k {
+		t.Fatalf("clean run produced %d results, want %d", len(ref), k)
+	}
+	if spills == 0 || reloads == 0 {
+		t.Fatalf("workload does not exercise the queue transitions (spills=%d reloads=%d); tighten the budget", spills, reloads)
+	}
+
+	sentinel := errors.New("injected queue-transition fault")
+	for _, tc := range []struct {
+		op    hybridq.FaultOp
+		count int
+	}{{hybridq.FaultSpill, spills}, {hybridq.FaultReload, reloads}} {
+		for point := 0; point < tc.count; point++ {
+			var seen int
+			got, err := AMKDJ(left, right, k, tightQueueOpts(func(op hybridq.FaultOp) error {
+				if op != tc.op {
+					return nil
+				}
+				i := seen
+				seen++
+				if i == point {
+					return fmt.Errorf("%s %d: %w", op, i, sentinel)
+				}
+				return nil
+			}))
+			if err == nil {
+				t.Fatalf("%s point %d: no error surfaced (got %d results)", tc.op, point, len(got))
+			}
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("%s point %d: error %v does not wrap the injected fault", tc.op, point, err)
+			}
+		}
+	}
+
+	// And with the hook disarmed again, the join still reproduces the
+	// reference on the same trees.
+	again, err := AMKDJ(left, right, k, tightQueueOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if again[i] != ref[i] {
+			t.Fatalf("result %d differs after fault runs: %+v != %+v", i, again[i], ref[i])
+		}
+	}
+}
+
+// TestQueueFaultHookSurfacesInAMIDJ is the incremental-iterator
+// counterpart: a failed transition must terminate the stream with
+// Err() wrapping the injection, Next must stay exhausted, and Close
+// must be idempotent.
+func TestQueueFaultHookSurfacesInAMIDJ(t *testing.T) {
+	left, right := queueFaultTrees(t)
+	const pull = 300
+
+	var reloads int
+	opts := tightQueueOpts(func(op hybridq.FaultOp) error {
+		if op == hybridq.FaultReload {
+			reloads++
+		}
+		return nil
+	})
+	opts.BatchK = 64
+	it, err := AMIDJ(left, right, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := 0
+	for clean < pull {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		clean++
+	}
+	it.Close()
+	it.Close()
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if reloads == 0 {
+		t.Fatal("workload does not exercise reloads; tighten the budget")
+	}
+
+	sentinel := errors.New("injected queue-transition fault")
+	for point := 0; point < reloads; point++ {
+		var seen int
+		opts := tightQueueOpts(func(op hybridq.FaultOp) error {
+			if op != hybridq.FaultReload {
+				return nil
+			}
+			i := seen
+			seen++
+			if i == point {
+				return fmt.Errorf("reload %d: %w", i, sentinel)
+			}
+			return nil
+		})
+		opts.BatchK = 64
+		it, err := AMIDJ(left, right, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for n < pull {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n == pull {
+			t.Fatalf("point %d: full pull succeeded despite injected fault", point)
+		}
+		if err := it.Err(); !errors.Is(err, sentinel) {
+			t.Fatalf("point %d: Err() = %v, want wrapped injection", point, err)
+		}
+		if _, ok := it.Next(); ok {
+			t.Fatalf("point %d: Next produced a result after failure", point)
+		}
+		it.Close()
+		it.Close() // idempotent
+		if err := it.Err(); !errors.Is(err, sentinel) {
+			t.Fatalf("point %d: error lost after Close", point)
+		}
+	}
+}

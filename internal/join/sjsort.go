@@ -60,6 +60,16 @@ func SJSort(left, right *rtree.Tree, k int, dmax float64, opts Options) (results
 			}
 			np := run.childPair(le, re, d)
 			if np.IsResult() {
+				// Self-join semantics: suppress identity pairs and keep
+				// one of each mirror pair — the same filter execContext.push
+				// applies for the queue-driven algorithms. Pairs stream
+				// into the sorter directly, so the filter must be applied
+				// here. (Caught by the simtest differential oracle: the
+				// self-join workload otherwise ranks <a,a> pairs at
+				// distance zero ahead of every real result.)
+				if c.opts.SelfJoin && np.Left >= np.Right {
+					return
+				}
 				if c.refiner != nil {
 					np = c.refine(np)
 					if np.Dist > dmax {

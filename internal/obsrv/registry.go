@@ -158,6 +158,24 @@ func (r *Registry) Uptime() time.Duration {
 	return time.Since(r.start)
 }
 
+// Reset drops every completed-query aggregate and restarts the uptime
+// clock, leaving in-flight queries registered (their handles stay
+// valid and they fold into the fresh aggregates when they End). It
+// exists for repeated-run hygiene — a shared registry (the package
+// facade's DefaultRegistry, a soak driver's per-process instance) can
+// be returned to a pristine state between test iterations without
+// racing live queries. A nil registry no-ops, like every other method.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.start = time.Now()
+	r.algos = make(map[string]*algoAgg)
+	r.names = nil
+}
+
 // InFlight returns the number of currently registered queries.
 func (r *Registry) InFlight() int {
 	if r == nil {

@@ -173,3 +173,41 @@ func TestSnapshotJSONRoundTrips(t *testing.T) {
 		}
 	}
 }
+
+// TestRegistryReset pins the repeated-run hygiene contract: Reset
+// clears completed aggregates and restarts the clock, but leaves
+// in-flight queries registered — and their later End lands in the
+// fresh aggregates rather than vanishing or panicking.
+func TestRegistryReset(t *testing.T) {
+	var nilReg *Registry
+	nilReg.Reset() // nil-safe like every other method
+
+	r := NewRegistry()
+	q := r.Begin("AM-KDJ", 10)
+	q.End(&metrics.Collector{}, nil)
+	if got := r.Snapshot(); len(got.Algos) != 1 || got.Algos[0].Queries != 1 {
+		t.Fatalf("pre-reset snapshot: %+v", got.Algos)
+	}
+
+	live := r.Begin("B-KDJ", 5) // in flight across the reset
+	r.Reset()
+	s := r.Snapshot()
+	if len(s.Algos) != 0 {
+		t.Fatalf("post-reset aggregates survive: %+v", s.Algos)
+	}
+	if len(s.InFlight) != 1 || s.InFlight[0].Algo != "B-KDJ" {
+		t.Fatalf("post-reset in-flight: %+v", s.InFlight)
+	}
+	if r.InFlight() != 1 {
+		t.Fatalf("InFlight() = %d after reset, want 1", r.InFlight())
+	}
+
+	live.End(&metrics.Collector{}, nil)
+	s = r.Snapshot()
+	if len(s.InFlight) != 0 {
+		t.Fatalf("query still in flight after End: %+v", s.InFlight)
+	}
+	if len(s.Algos) != 1 || s.Algos[0].Algo != "B-KDJ" || s.Algos[0].Queries != 1 {
+		t.Fatalf("post-reset End not aggregated: %+v", s.Algos)
+	}
+}

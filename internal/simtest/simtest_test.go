@@ -1,0 +1,256 @@
+package simtest
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"distjoin/internal/join"
+	"distjoin/internal/obsrv"
+	"distjoin/internal/storage"
+)
+
+// TestCheckSeeds sweeps the logic battery (differential oracle plus
+// every metamorphic invariant) over a block of consecutive seeds.
+func TestCheckSeeds(t *testing.T) {
+	n := int64(40)
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		if err := Check(FromSeed(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFaultSchedules explores injected-fault schedules for a handful
+// of scenarios chosen to cover serial and parallel execution, tight
+// queue memory (spill/reload traffic), and self-join semantics. Point
+// sampling keeps the default run quick; the nightly soak explores
+// exhaustively via cmd/distjoin-sim -faults -points=0.
+func TestFaultSchedules(t *testing.T) {
+	points := 6
+	seeds := []int64{2, 3, 15}
+	if testing.Short() {
+		points = 2
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		if err := ExploreFaults(FromSeed(seed), ExploreOpts{MaxPointsPerTarget: points}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMutationSmoke validates the harness itself: with a deliberately
+// broken pruning cutoff installed, the differential oracle must catch
+// the wrong results within a bounded number of seeds — a harness that
+// cannot fail proves nothing. The mutation only affects the serial
+// AM-KDJ path, so the run is pinned to Parallelism 1.
+func TestMutationSmoke(t *testing.T) {
+	const maxSeeds = 100
+	restore := join.SetPruneMutation(0.85)
+	defer restore()
+	for seed := int64(1); seed <= maxSeeds; seed++ {
+		s := FromSeed(seed)
+		e, err := newEnv(s, storage.NewMemStore(s.PageSize), storage.NewMemStore(s.PageSize), nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := e.runAlgo("AM-KDJ", e.options(1, nil, nil, obsrv.NewRegistry()), len(e.ref))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := e.compareExact("mutation-smoke", "AM-KDJ", got); err != nil {
+			t.Logf("mutation caught at seed %d: %v", seed, err)
+			restore()
+			// The restored algorithm must pass again on the same seed —
+			// pinning that the failure came from the mutation, not the
+			// harness.
+			got, err := e.runAlgo("AM-KDJ", e.options(1, nil, nil, obsrv.NewRegistry()), len(e.ref))
+			if err != nil {
+				t.Fatalf("seed %d after restore: %v", seed, err)
+			}
+			if err := e.compareExact("mutation-smoke", "AM-KDJ", got); err != nil {
+				t.Fatalf("restored algorithm still failing: %v", err)
+			}
+			return
+		}
+	}
+	t.Fatalf("pruning mutation survived %d seeds undetected — the differential oracle is blind", maxSeeds)
+}
+
+// TestFromSeedDeterministic pins the seed -> scenario map: two
+// derivations of the same seed must be identical, including the
+// materialized data.
+func TestFromSeedDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := FromSeed(seed), FromSeed(seed)
+		if a != b {
+			t.Fatalf("seed %d: scenarios differ:\n%s\n%s", seed, a, b)
+		}
+		al, ar := a.Items()
+		bl, br := b.Items()
+		if len(al) != len(bl) || len(ar) != len(br) {
+			t.Fatalf("seed %d: item counts differ", seed)
+		}
+		for i := range al {
+			if al[i] != bl[i] {
+				t.Fatalf("seed %d: left item %d differs", seed, i)
+			}
+		}
+		for i := range ar {
+			if ar[i] != br[i] {
+				t.Fatalf("seed %d: right item %d differs", seed, i)
+			}
+		}
+	}
+}
+
+// TestSelfJoinScenarioShape pins the self-join contract: both sides
+// identical, SelfJoin reported.
+func TestSelfJoinScenarioShape(t *testing.T) {
+	found := false
+	for seed := int64(1); seed <= 64; seed++ {
+		s := FromSeed(seed)
+		if s.Workload != WorkloadSelf {
+			continue
+		}
+		found = true
+		if !s.SelfJoin() {
+			t.Fatalf("seed %d: self workload but SelfJoin() false", seed)
+		}
+		if s.NLeft != s.NRight || s.SubSeedL != s.SubSeedR {
+			t.Fatalf("seed %d: self workload with asymmetric sides: %s", seed, s)
+		}
+	}
+	if !found {
+		t.Fatal("no self-join workload in 64 seeds — workload distribution broken")
+	}
+}
+
+// TestParseScheduleRoundTrip checks ParseSchedule against String for
+// every algorithm/target combination, plus the error paths.
+func TestParseScheduleRoundTrip(t *testing.T) {
+	for _, algo := range Algorithms {
+		for _, target := range faultTargets {
+			in := &FaultSchedule{Algo: algo, Target: target, Point: 7}
+			out, err := ParseSchedule(in.String())
+			if err != nil {
+				t.Fatalf("ParseSchedule(%q): %v", in.String(), err)
+			}
+			if *out != *in {
+				t.Fatalf("round trip: %+v != %+v", out, in)
+			}
+		}
+	}
+	for _, bad := range []string{
+		"", "AM-KDJ", "AM-KDJ:queue", "NOPE:queue:1", "AM-KDJ:disk:1",
+		"AM-KDJ:queue:x", "AM-KDJ:queue:-1", "AM-KDJ:queue:1:2",
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Fatalf("ParseSchedule(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunScheduleRepro pins the CLI repro path: a schedule produced by
+// exploration must be runnable standalone.
+func TestRunScheduleRepro(t *testing.T) {
+	s := FromSeed(2)
+	for _, spec := range []string{"AM-KDJ:queue:0", "AM-IDJ:reload:0", "B-KDJ:ltree:2", "HS-KDJ:spill:0"} {
+		sched, err := ParseSchedule(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RunSchedule(s, sched); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+	}
+	// Points beyond the census never fire; the run must then simply
+	// reproduce the oracle (not report a swallowed fault).
+	sched := &FaultSchedule{Algo: "AM-KDJ", Target: TargetLeftTree, Point: 1 << 20}
+	if err := RunSchedule(s, sched); err != nil {
+		t.Fatalf("unreachable point: %v", err)
+	}
+}
+
+// TestSamplePoints pins the point sampler: exhaustive below the cap,
+// strided (first point included, bounds respected, strictly
+// increasing) above it.
+func TestSamplePoints(t *testing.T) {
+	if got := samplePoints(0, 4); got != nil {
+		t.Fatalf("samplePoints(0,4) = %v", got)
+	}
+	if got := samplePoints(3, 0); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("samplePoints(3,0) = %v", got)
+	}
+	got := samplePoints(1000, 8)
+	if len(got) != 8 || got[0] != 0 {
+		t.Fatalf("samplePoints(1000,8) = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] || got[i] >= 1000 {
+			t.Fatalf("samplePoints(1000,8) not strictly increasing in range: %v", got)
+		}
+	}
+}
+
+// TestFailureRepro pins the one-line repro format the CLI parses back.
+func TestFailureRepro(t *testing.T) {
+	f := &Failure{
+		Scenario: FromSeed(42),
+		Schedule: &FaultSchedule{Algo: "AM-KDJ", Target: TargetReload, Point: 3},
+		Check:    "fault",
+		Detail:   "boom",
+	}
+	msg := f.Error()
+	for _, want := range []string{"-seed=42", "-schedule=AM-KDJ:reload:3", "[fault]", "boom", "cmd/distjoin-sim"} {
+		if !contains(msg, want) {
+			t.Fatalf("failure message %q missing %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSoak is the nightly long-haul run: a time-boxed seed sweep with
+// sampled fault exploration, enabled by DISTJOIN_SOAK=full (the
+// nightly workflow sets it). The default run does a token pass so the
+// code path stays exercised.
+func TestSoak(t *testing.T) {
+	budget := 2 * time.Second
+	faultPoints := 2
+	if os.Getenv("DISTJOIN_SOAK") == "full" {
+		budget = 3 * time.Minute
+		faultPoints = 8
+	} else if testing.Short() {
+		t.Skip("soak in -short mode")
+	}
+	deadline := time.Now().Add(budget)
+	seed := int64(1000) // disjoint from the fixed sweeps above
+	checked := 0
+	for time.Now().Before(deadline) {
+		s := FromSeed(seed)
+		if err := Check(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := ExploreFaults(s, ExploreOpts{
+			Algos:              []string{"AM-KDJ", "AM-IDJ"},
+			MaxPointsPerTarget: faultPoints,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		seed++
+		checked++
+	}
+	t.Logf("soak: %d seeds checked in %v", checked, budget)
+}

@@ -249,10 +249,21 @@ func TestIteratorCloseEndsRegistryEntry(t *testing.T) {
 	it2.Close()
 }
 
-// TestDefaultRegistry pins the singleton behavior.
+// TestDefaultRegistry pins the singleton behavior and the Reset
+// hygiene contract: because the default registry is process-global,
+// repeated test runs in one process (go test -count=2) must be able
+// to return it to a pristine state instead of accumulating stale
+// aggregates across iterations.
 func TestDefaultRegistry(t *testing.T) {
 	a, b := DefaultRegistry(), DefaultRegistry()
 	if a == nil || a != b {
 		t.Fatalf("DefaultRegistry not a singleton: %p vs %p", a, b)
+	}
+	// Leave the singleton exactly as this test found it, whatever other
+	// tests have already folded into it.
+	defer a.Reset()
+	a.Reset()
+	if s := a.Snapshot(); len(s.Algos) != 0 {
+		t.Fatalf("aggregates survive Reset: %+v", s.Algos)
 	}
 }
