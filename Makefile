@@ -28,12 +28,25 @@ all: build vet test
 build:
 	$(GO) build ./...
 
-vet:
-	$(GO) vet ./...
+# The project lint suite (internal/analysis, docs/static-analysis.md)
+# runs through go vet's -vettool protocol so its per-package results
+# land in go's build cache alongside the standard vet checks. The
+# binary itself is a file target: it only rebuilds when its sources
+# change, and go's build cache makes even that rebuild incremental.
+VETTOOL := bin/distjoin-vet
+VETTOOL_SRC := $(wildcard cmd/distjoin-vet/*.go internal/analysis/*.go)
 
-# Fail if any file needs gofmt; run staticcheck when available (CI
-# installs it — see .github/workflows/ci.yml — so a missing local
-# binary degrades to a note instead of a hard dependency).
+$(VETTOOL): $(VETTOOL_SRC) go.mod
+	$(GO) build -o $(VETTOOL) ./cmd/distjoin-vet
+
+vet: $(VETTOOL)
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(abspath $(VETTOOL)) ./...
+
+# Fail if any file needs gofmt; run staticcheck and govulncheck when
+# available (CI installs them — see .github/workflows/ci.yml — so a
+# missing local binary degrades to a note instead of a hard
+# dependency).
 lint: vet
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -45,6 +58,11 @@ lint: vet
 		staticcheck ./...; \
 	else \
 		echo "note: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "note: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
 test:
@@ -137,4 +155,4 @@ ci: lint build
 
 clean:
 	$(GO) clean ./...
-	rm -rf figures coverage.out $(BENCH_NEW)
+	rm -rf figures coverage.out bin $(BENCH_NEW)

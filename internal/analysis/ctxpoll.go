@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Ctxpoll requires every queue-draining loop in package join to poll
+// for cancellation. The paper's multi-stage traversal (§4.2–§4.3)
+// drains the hybrid priority queue and the external-sort iterator in
+// unbounded `for` loops; without a poll, a cancelled or deadline-hit
+// query spins until the queue empties — the exact hang the
+// execContext.cancelled() throttle (cancelEvery/progressEvery) exists
+// to prevent.
+//
+// A loop is in scope when its body (function literals excluded — they
+// run on other goroutines or later) drains a work source:
+//
+//   - Pop or Peek on a hybridq.Queue, or
+//   - Next on an extsort iterator.
+//
+// Such a loop must call a method or function named `cancelled` (the
+// execContext poll) somewhere in its body. Loops that are bounded by
+// construction — a claim loop capped by the worker count, a batch
+// fill capped by batch size — are annotated with
+// `//lint:allow ctxpoll <reason>` instead.
+var Ctxpoll = &Analyzer{
+	Name:      "ctxpoll",
+	Doc:       "queue-draining loops in package join must poll execContext.cancelled",
+	SkipTests: true,
+	Run:       runCtxpoll,
+}
+
+func runCtxpoll(pass *Pass) error {
+	if scopeBase(pass.PkgPath) != "join" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				// Function literals are inspected when the walk reaches
+				// them from the top; a loop inside one is still a loop.
+				return true
+			}
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			trigger := pass.ctxpollTrigger(loop.Body)
+			if trigger == "" {
+				return true
+			}
+			if ctxpollHasPoll(loop.Body) {
+				return true
+			}
+			pass.Reportf(loop.For, "loop drains %s without polling cancellation: a cancelled query spins until the source empties; call c.cancelled() in the loop body or annotate a bounded loop with %s ctxpoll <reason>",
+				trigger, allowPrefix)
+			return true
+		})
+	}
+	return nil
+}
+
+// ctxpollTrigger reports the first work-source drain in the loop body
+// ("" when none): hybridq.Queue Pop/Peek or an extsort Next.
+// Function literals are skipped — their bodies execute elsewhere.
+func (pass *Pass) ctxpollTrigger(body *ast.BlockStmt) string {
+	trigger := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if trigger != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Pop", "Peek":
+			if namedTypeIn(pass.TypesInfo.Types[sel.X].Type, "Queue", "hybridq") {
+				trigger = "hybridq.Queue." + sel.Sel.Name
+			}
+		case "Next":
+			if fn := calleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil &&
+				scopeBase(fn.Pkg().Path()) == "extsort" {
+				trigger = "extsort " + sel.Sel.Name
+			}
+		}
+		return true
+	})
+	return trigger
+}
+
+// ctxpollHasPoll reports whether the loop body calls something named
+// `cancelled` — the execContext poll — outside function literals.
+func ctxpollHasPoll(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "cancelled" {
+				found = true
+			}
+		case *ast.Ident:
+			if fun.Name == "cancelled" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

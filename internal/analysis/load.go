@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Loader type-checks repo packages without golang.org/x/tools: it asks
+// the go command for gc export data (`go list -e -export -deps -test`)
+// and feeds it to importer.ForCompiler, then parses and checks the
+// target packages from source. One Loader shares a FileSet and an
+// import cache across every load, so fixture packages (whose synthetic
+// import paths live outside the module) can import real repo packages
+// by their canonical paths.
+type Loader struct {
+	// Dir is the module root; empty locates it via `go env GOMOD`
+	// relative to the current directory.
+	Dir string
+
+	once    sync.Once
+	initErr error
+	exports map[string]string // import path -> export file
+	fset    *token.FileSet
+	imp     types.Importer
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath  string
+	Dir         string
+	Name        string
+	Export      string
+	GoFiles     []string
+	TestGoFiles []string
+	Error       *struct{ Err string }
+}
+
+// goList runs the go command in l.Dir and decodes the concatenated
+// JSON package objects.
+func (l *Loader) goList(args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// init resolves the module root, builds the export-data map for the
+// whole module plus its (transitive, test-inclusive) dependencies, and
+// constructs the shared gc importer.
+func (l *Loader) init() error {
+	l.once.Do(func() { l.initErr = l.initSlow() })
+	return l.initErr
+}
+
+func (l *Loader) initSlow() error {
+	if l.Dir == "" {
+		cmd := exec.Command("go", "env", "GOMOD")
+		out, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("go env GOMOD: %v", err)
+		}
+		gomod := strings.TrimSpace(string(out))
+		if gomod == "" || gomod == os.DevNull {
+			return fmt.Errorf("analysis: not inside a module")
+		}
+		l.Dir = filepath.Dir(gomod)
+	}
+	pkgs, err := l.goList("list", "-e", "-export", "-deps", "-test",
+		"-json=ImportPath,Export", "./...")
+	if err != nil {
+		return err
+	}
+	l.exports = make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	l.fset = token.NewFileSet()
+	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return nil
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() (*token.FileSet, error) {
+	if err := l.init(); err != nil {
+		return nil, err
+	}
+	return l.fset, nil
+}
+
+// check parses the named source files (mapping file name to content;
+// nil content reads the file) and type-checks them as one package unit
+// under pkgPath.
+func (l *Loader) check(pkgPath string, filenames []string, sources map[string][]byte) (*Unit, error) {
+	if err := l.init(); err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range filenames {
+		src := sources[name]
+		if src == nil {
+			b, err := os.ReadFile(name)
+			if err != nil {
+				return nil, err
+			}
+			src = b
+		}
+		f, err := parser.ParseFile(l.fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pkgPath, err)
+	}
+	return &Unit{PkgPath: pkgPath, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// LoadPatterns loads every package matching the go list patterns
+// (e.g. "./...") as analysis units. In-package test files are included
+// in each unit; external (_test package) files are not.
+func (l *Loader) LoadPatterns(patterns ...string) ([]*Unit, error) {
+	if err := l.init(); err != nil {
+		return nil, err
+	}
+	args := append([]string{"list", "-e", "-json=ImportPath,Dir,Name,GoFiles,TestGoFiles"}, patterns...)
+	pkgs, err := l.goList(args...)
+	if err != nil {
+		return nil, err
+	}
+	var units []*Unit
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		var names []string
+		for _, g := range append(append([]string{}, p.GoFiles...), p.TestGoFiles...) {
+			names = append(names, filepath.Join(p.Dir, g))
+		}
+		if len(names) == 0 {
+			continue
+		}
+		u, err := l.check(p.ImportPath, names, nil)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// PackageFiles returns the absolute paths of the package's Go files
+// (in-package tests included), for callers that mutate sources.
+func (l *Loader) PackageFiles(pkgPath string) ([]string, error) {
+	if err := l.init(); err != nil {
+		return nil, err
+	}
+	pkgs, err := l.goList("list", "-json=ImportPath,Dir,GoFiles,TestGoFiles", pkgPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) != 1 {
+		return nil, fmt.Errorf("analysis: %q matched %d packages", pkgPath, len(pkgs))
+	}
+	var names []string
+	for _, g := range append(append([]string{}, pkgs[0].GoFiles...), pkgs[0].TestGoFiles...) {
+		names = append(names, filepath.Join(pkgs[0].Dir, g))
+	}
+	return names, nil
+}
+
+// CheckSources type-checks an explicit file-name -> content map as one
+// package under pkgPath. Used by the mutation tests to re-check a real
+// package with one planted edit.
+func (l *Loader) CheckSources(pkgPath string, sources map[string][]byte) (*Unit, error) {
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return l.check(pkgPath, names, sources)
+}
+
+// LoadDir loads every .go file of one directory as a package unit with
+// the given synthetic import path — the analysistest-style entry point
+// for testdata fixtures. Fixtures may import real repo packages by
+// their canonical import paths.
+func (l *Loader) LoadDir(dir, pkgPath string) (*Unit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	sort.Strings(names)
+	return l.check(pkgPath, names, nil)
+}

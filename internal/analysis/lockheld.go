@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Lockheld forbids blocking work while a hybridq or obsrv mutex is
+// held: disk I/O through storage/extsort (or os), channel sends,
+// receives and selects, and sync blocking calls (WaitGroup.Wait,
+// Cond.Wait, time.Sleep). A spill or reload that blocks under the
+// queue lock is exactly the deadlock shape the paper's hybrid
+// memory/disk queue (§4.4) invites once traversal is concurrent.
+//
+// Lock acquisition is recognized in the two idioms the codebase uses:
+//
+//   - `defer q.lock()()` — the hybridq unlock-func idiom, which holds
+//     the lock for the rest of the function;
+//   - `x.mu.Lock()` / `x.mu.RLock()` on a sync.(RW)Mutex — held until
+//     the matching Unlock in the same block, or function end.
+//
+// The walk is one call level deep: a locked function's direct callees
+// (same package) are scanned for the same blocking operations, so
+// `Pop -> swapIn -> store.ReadPage` is caught without whole-program
+// analysis. Deliberate I/O under the queue's own single-owner lock is
+// annotated with `//lint:allow lockheld <reason>`.
+var Lockheld = &Analyzer{
+	Name:      "lockheld",
+	Doc:       "no I/O, channel, or sync blocking operations while a hybridq/obsrv mutex is held",
+	SkipTests: true,
+	Run:       runLockheld,
+}
+
+// lockheldScopes are the package scope bases the analyzer runs in.
+var lockheldScopes = map[string]bool{"hybridq": true, "obsrv": true}
+
+// lockheldIOPkgs are packages whose calls count as I/O under a lock.
+var lockheldIOPkgs = map[string]bool{"storage": true, "extsort": true, "os": true}
+
+func runLockheld(pass *Pass) error {
+	if !lockheldScopes[scopeBase(pass.PkgPath)] {
+		return nil
+	}
+	// Index this unit's function declarations for the one-level walk.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			pass.lockheldFunc(fd, decls)
+		}
+	}
+	return nil
+}
+
+// lockheldFunc scans one function for locked regions and checks them.
+func (pass *Pass) lockheldFunc(fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) {
+	var checkBlock func(list []ast.Stmt, locked bool)
+	checkStmt := func(s ast.Stmt, locked bool) {
+		if locked {
+			pass.lockheldViolations(s, fd, decls, 1)
+		}
+	}
+	checkBlock = func(list []ast.Stmt, locked bool) {
+		lockExprs := map[string]bool{}
+		for _, s := range list {
+			switch st := s.(type) {
+			case *ast.DeferStmt:
+				// defer x.lock()() — locked for the rest of the block.
+				if inner, ok := st.Call.Fun.(*ast.CallExpr); ok {
+					if sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "lock" {
+						locked = true
+						continue
+					}
+				}
+				// defer mu.Unlock() does not end the region: the lock
+				// is held until function exit.
+				continue
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if recv, kind := mutexCall(pass.TypesInfo, call); kind != "" {
+						switch kind {
+						case "Lock", "RLock":
+							locked = true
+							lockExprs[recv] = true
+							continue
+						case "Unlock", "RUnlock":
+							if lockExprs[recv] {
+								delete(lockExprs, recv)
+								if len(lockExprs) == 0 {
+									locked = false
+								}
+								continue
+							}
+						}
+					}
+				}
+			}
+			checkStmt(s, locked)
+			// Nested blocks inherit the locked state through checkStmt's
+			// recursive inspection, except that explicit sub-blocks with
+			// their own lock/unlock discipline are handled by recursion.
+			if !locked {
+				switch st := s.(type) {
+				case *ast.BlockStmt:
+					checkBlock(st.List, false)
+				case *ast.IfStmt:
+					checkBlock(st.Body.List, false)
+					if blk, ok := st.Else.(*ast.BlockStmt); ok {
+						checkBlock(blk.List, false)
+					}
+				case *ast.ForStmt:
+					checkBlock(st.Body.List, false)
+				case *ast.RangeStmt:
+					checkBlock(st.Body.List, false)
+				case *ast.SwitchStmt:
+					for _, c := range st.Body.List {
+						if cc, ok := c.(*ast.CaseClause); ok {
+							checkBlock(cc.Body, false)
+						}
+					}
+				}
+			}
+		}
+	}
+	checkBlock(fd.Body.List, false)
+}
+
+// mutexCall matches a call to a method of sync.Mutex/RWMutex and
+// returns the receiver expression string and the method name.
+func mutexCall(info *types.Info, call *ast.CallExpr) (recv, kind string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "RLock" && name != "Unlock" && name != "RUnlock" {
+		return "", ""
+	}
+	t := info.Types[sel.X].Type
+	if namedTypeIn(t, "Mutex", "sync") || namedTypeIn(t, "RWMutex", "sync") {
+		return types.ExprString(sel.X), name
+	}
+	return "", ""
+}
+
+// lockheldViolations reports blocking operations reachable from n
+// (excluding function literals, whose bodies run later) and, when
+// depth > 0, from the bodies of directly called same-package
+// functions.
+func (pass *Pass) lockheldViolations(n ast.Node, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl, depth int) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch e := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(e.Pos(), "channel send while a %s mutex is held: a blocked receiver deadlocks every queue operation; move the send outside the locked region", scopeBase(pass.PkgPath))
+		case *ast.UnaryExpr:
+			if e.Op.String() == "<-" {
+				pass.Reportf(e.Pos(), "channel receive while a %s mutex is held: move the receive outside the locked region", scopeBase(pass.PkgPath))
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(e.Pos(), "select while a %s mutex is held: move channel operations outside the locked region", scopeBase(pass.PkgPath))
+		case *ast.CallExpr:
+			pass.lockheldCall(e, fd, decls, depth)
+		}
+		return true
+	})
+}
+
+// lockheldCall classifies one call inside a locked region.
+func (pass *Pass) lockheldCall(call *ast.CallExpr, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl, depth int) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	base := scopeBase(fn.Pkg().Path())
+	lockPkg := scopeBase(pass.PkgPath)
+	switch {
+	case lockheldIOPkgs[base]:
+		pass.Reportf(call.Pos(), "%s.%s does disk I/O while the %s mutex is held: a slow or faulted page operation stalls every caller of the queue; stage the I/O outside the lock or annotate the single-owner design with %s lockheld <reason>",
+			base, fn.Name(), lockPkg, allowPrefix)
+	case base == "sync" && fn.Name() == "Wait":
+		pass.Reportf(call.Pos(), "blocking sync Wait while the %s mutex is held: waiting for other goroutines under the lock deadlocks when they need it", lockPkg)
+	case base == "time" && fn.Name() == "Sleep":
+		pass.Reportf(call.Pos(), "time.Sleep while the %s mutex is held", lockPkg)
+	case fn.Pkg() == pass.Pkg && depth > 0:
+		// One-level call-graph walk into same-package callees.
+		if callee, ok := decls[fn]; ok && callee.Body != nil && callee != fd {
+			pass.lockheldViolationsVia(callee.Body, call, fn.Name())
+		}
+	}
+}
+
+// lockheldViolationsVia scans a callee body for direct blocking
+// operations, reporting them at the caller's call site (the position
+// the developer holding the lock can act on).
+func (pass *Pass) lockheldViolationsVia(body *ast.BlockStmt, at *ast.CallExpr, calleeName string) {
+	lockPkg := scopeBase(pass.PkgPath)
+	reported := false
+	ast.Inspect(body, func(m ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch e := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			reported = true
+			pass.Reportf(at.Pos(), "call to %s performs a channel send while the %s mutex is held", calleeName, lockPkg)
+		case *ast.UnaryExpr:
+			if e.Op.String() == "<-" {
+				reported = true
+				pass.Reportf(at.Pos(), "call to %s performs a channel receive while the %s mutex is held", calleeName, lockPkg)
+			}
+		case *ast.SelectStmt:
+			reported = true
+			pass.Reportf(at.Pos(), "call to %s runs a select while the %s mutex is held", calleeName, lockPkg)
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.TypesInfo, e)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			base := scopeBase(fn.Pkg().Path())
+			switch {
+			case lockheldIOPkgs[base]:
+				reported = true
+				pass.Reportf(at.Pos(), "call to %s does disk I/O (%s.%s) while the %s mutex is held; stage the I/O outside the lock or annotate the single-owner design with %s lockheld <reason>",
+					calleeName, base, fn.Name(), lockPkg, allowPrefix)
+			case base == "sync" && fn.Name() == "Wait":
+				reported = true
+				pass.Reportf(at.Pos(), "call to %s waits on other goroutines (blocking sync Wait) while the %s mutex is held", calleeName, lockPkg)
+			}
+		}
+		return !reported
+	})
+}

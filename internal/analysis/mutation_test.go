@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestSuiteCleanOnTree pins the zero-findings contract: the checked-in
+// tree (with its //lint:allow annotations) produces no diagnostics.
+// Every planted-mutation case below relies on this baseline — a
+// mutation proving "removing X trips analyzer Y" is only meaningful if
+// the unmutated tree is clean.
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	units, err := sharedLoader.LoadPatterns("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, u := range units {
+		diags, err := RunUnit(u, Suite())
+		if err != nil {
+			t.Fatalf("%s: %v", u.PkgPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: unexpected finding: %s", u.PkgPath, d)
+		}
+	}
+}
+
+// mutations plants one regression per analyzer into a real package —
+// deleting an annotation, widening a guard, renaming a metric family,
+// dropping a cancellation poll — and demands the suite catch it. This
+// is the "removing any annotation or guard fails CI" acceptance bar.
+var mutations = []struct {
+	name     string
+	pkg      string // real import path to mutate
+	analyzer string // analyzer that must fire
+	old, new string // first occurrence of old becomes new
+}{
+	{
+		name:     "floatcmp/strip-pair-less-allow",
+		pkg:      "distjoin/internal/hybridq",
+		analyzer: "floatcmp",
+		old:      "//lint:allow floatcmp bit-exact distance tie-break IS the determinism contract the parallel engine relies on\n",
+		new:      "",
+	},
+	{
+		name:     "nilhook/widen-fault-guard",
+		pkg:      "distjoin/internal/hybridq",
+		analyzer: "nilhook",
+		old:      "if q.fault != nil {\n\t\tif err := q.fault(FaultSpill); err != nil {",
+		new:      "if true {\n\t\tif err := q.fault(FaultSpill); err != nil {",
+	},
+	{
+		name:     "lockheld/strip-pop-allow",
+		pkg:      "distjoin/internal/hybridq",
+		analyzer: "lockheld",
+		old:      "//lint:allow lockheld reload I/O under the queue's own single-owner lock is the §4.4 design; the lock is defense-in-depth, never contended on the hot path\nfunc (q *Queue) Pop",
+		new:      "func (q *Queue) Pop",
+	},
+	{
+		name:     "promdrift/rename-family",
+		pkg:      "distjoin/internal/obsrv",
+		analyzer: "promdrift",
+		old:      `"distjoin_queries_total"`,
+		new:      `"distjoin_queries_renamed_total"`,
+	},
+	{
+		name:     "ctxpoll/drop-drain-poll",
+		pkg:      "distjoin/internal/join",
+		analyzer: "ctxpoll",
+		old:      "if err := c.cancelled(); err != nil {\n\t\t\treturn nil, err\n\t\t}\n\t\tp, ok := it.Next()",
+		new:      "p, ok := it.Next()",
+	},
+}
+
+// TestPlantedMutations applies each mutation to an in-memory copy of
+// the package sources (the tree on disk is never written) and runs the
+// whole suite over the re-checked unit.
+func TestPlantedMutations(t *testing.T) {
+	for _, m := range mutations {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			names, err := sharedLoader.PackageFiles(m.pkg)
+			if err != nil {
+				t.Fatalf("listing %s: %v", m.pkg, err)
+			}
+			sources := make(map[string][]byte, len(names))
+			planted := false
+			for _, name := range names {
+				src, err := os.ReadFile(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !planted && bytes.Contains(src, []byte(m.old)) {
+					src = bytes.Replace(src, []byte(m.old), []byte(m.new), 1)
+					planted = true
+				}
+				sources[name] = src
+			}
+			if !planted {
+				t.Fatalf("mutation target %q not found in %s; the fixture drifted from the tree", m.old, m.pkg)
+			}
+			u, err := sharedLoader.CheckSources(m.pkg, sources)
+			if err != nil {
+				t.Fatalf("re-checking mutated %s: %v", m.pkg, err)
+			}
+			diags, err := RunUnit(u, Suite())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fired := 0
+			for _, d := range diags {
+				if d.Analyzer == m.analyzer {
+					fired++
+				}
+			}
+			if fired == 0 {
+				t.Fatalf("planted %s regression not caught; got %d other diagnostics: %v",
+					m.analyzer, len(diags), diags)
+			}
+		})
+	}
+}

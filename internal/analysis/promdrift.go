@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+	"sort"
+	"strings"
+
+	"distjoin/internal/trace"
+)
+
+// Promdrift pins the Prometheus surface: the per-query exporter
+// (internal/trace), the process-level registry exporter
+// (internal/obsrv), and the strict exposition lint's expected series
+// must all agree with the canonical contract held here. A renamed or
+// dropped metric then fails `go vet`, not a production scrape.
+//
+// The contract has two halves:
+//
+//   - the Collector-derived families, obtained live from
+//     trace.PromFields() (reflection over metrics.Collector, so a new
+//     counter extends the contract automatically);
+//   - the registry-only families and the derived totals, listed
+//     literally below — the arbiter all three surfaces are checked
+//     against.
+//
+// Checks (packages trace and obsrv, tests included):
+//
+//  1. every compile-time string constant matching ^distjoin_ must name
+//     a contract family (histogram _bucket/_sum/_count series of
+//     contract histograms are accepted);
+//  2. package obsrv must mention every registry family and package
+//     trace every derived family — a silent removal is a finding;
+//  3. trace's promNamespace constant must be "distjoin".
+//
+// To rename a metric intentionally, change all three surfaces AND the
+// contract below in the same commit (see docs/static-analysis.md).
+var Promdrift = &Analyzer{
+	Name: "promdrift",
+	Doc:  "trace/obsrv Prometheus families and the exposition lint must match the canonical contract",
+	// Tests are scanned too: the strict exposition lint's expected
+	// series (obsrv/promlint_test.go) is one of the guarded surfaces.
+	SkipTests: false,
+	Run:       runPromdrift,
+}
+
+// registryContract is the canonical registry-only Prometheus surface:
+// family name -> exposition type. It must match obsrv/export.go and
+// the want map of TestPromExpositionLint.
+var registryContract = map[string]string{
+	"distjoin_registry_uptime_seconds":    "gauge",
+	"distjoin_inflight_queries":           "gauge",
+	"distjoin_queries_total":              "counter",
+	"distjoin_query_errors_total":         "counter",
+	"distjoin_query_latency_seconds":      "histogram",
+	"distjoin_query_dist_calcs":           "histogram",
+	"distjoin_query_queue_inserts":        "histogram",
+	"distjoin_edmax_estimate_ratio":       "histogram",
+	"distjoin_edmax_corrections_total":    "counter",
+	"distjoin_edmax_underestimates_total": "counter",
+	"distjoin_edmax_overestimates_total":  "counter",
+}
+
+// derivedContract is the canonical set of derived per-query families
+// (trace/export.go derivedMetrics) — a subset of trace.PromFields.
+var derivedContract = []string{
+	"distjoin_buffer_hit_ratio",
+	"distjoin_dist_calcs_total",
+	"distjoin_queue_inserts_total",
+	"distjoin_response_time_seconds",
+}
+
+// promNamespaceWant is the required value of trace's promNamespace.
+const promNamespaceWant = "distjoin"
+
+var promNameRE = regexp.MustCompile(`^distjoin_[a-z0-9_]+$`)
+
+// promExpected builds the full allowed-name set and the histogram
+// stems from the live trace.PromFields plus the literal contract.
+func promExpected() (names map[string]bool, histograms map[string]bool) {
+	names = make(map[string]bool)
+	for _, f := range trace.PromFields() {
+		names[f.Name] = true
+	}
+	histograms = make(map[string]bool)
+	for name, typ := range registryContract {
+		names[name] = true
+		if typ == "histogram" {
+			histograms[name] = true
+		}
+	}
+	return names, histograms
+}
+
+func runPromdrift(pass *Pass) error {
+	base := scopeBase(pass.PkgPath)
+	if base != "trace" && base != "obsrv" {
+		return nil
+	}
+	expected, histograms := promExpected()
+
+	// Sanity: the literal derived contract must still be exported by
+	// trace.PromFields — otherwise the contract itself is stale.
+	for _, name := range derivedContract {
+		if !expected[name] {
+			pass.Reportf(pass.Files[0].Name.Pos(), "promdrift contract is stale: derived family %q is no longer exported by trace.PromFields; update internal/analysis/promdrift.go together with the rename", name)
+		}
+	}
+
+	accepted := func(name string) bool {
+		if expected[name] {
+			return true
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if stem, ok := strings.CutSuffix(name, suffix); ok && histograms[stem] {
+				return true
+			}
+		}
+		return false
+	}
+
+	seen := make(map[string]bool)
+	for _, f := range pass.Files {
+		isTest := strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+
+		// Check 3: the namespace constant (trace, non-test files).
+		if base == "trace" && !isTest {
+			ast.Inspect(f, func(n ast.Node) bool {
+				vs, ok := n.(*ast.ValueSpec)
+				if !ok {
+					return true
+				}
+				for i, name := range vs.Names {
+					if name.Name == "promNamespace" && i < len(vs.Values) {
+						if v, ok := constString(pass.TypesInfo, vs.Values[i]); ok && v != promNamespaceWant {
+							pass.Reportf(vs.Values[i].Pos(), "promNamespace is %q, want %q: every exported family name would change and break the registry exporter and the exposition lint", v, promNamespaceWant)
+						}
+					}
+				}
+				return true
+			})
+		}
+
+		// Check 1: every distjoin_* string constant names a contract
+		// family. Stop descending once a constant expression matched,
+		// so one name reports once.
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			v, isConst := constString(pass.TypesInfo, e)
+			if !isConst || !promNameRE.MatchString(v) {
+				return true
+			}
+			if !isTest {
+				seen[v] = true
+			}
+			if !accepted(v) {
+				pass.Reportf(e.Pos(), "Prometheus family %q is not in the canonical contract: renamed or new metrics must update trace/obsrv, the exposition lint, and the promdrift contract together (docs/static-analysis.md)", v)
+			}
+			return false
+		})
+	}
+
+	// Check 2: required families must still be mentioned by the
+	// exporter sources. The aggregated report points at the package
+	// clause; the len(seen) gate skips units with no exporter files.
+	var missing []string
+	switch base {
+	case "obsrv":
+		for name := range registryContract {
+			if !seen[name] {
+				missing = append(missing, name)
+			}
+		}
+	case "trace":
+		for _, name := range derivedContract {
+			if !seen[name] {
+				missing = append(missing, name)
+			}
+		}
+	}
+	if len(missing) > 0 && len(seen) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(pass.Files[0].Name.Pos(), "package %s no longer mentions contract famil%s %s: removing or renaming an exported metric must update the promdrift contract too (docs/static-analysis.md)",
+			base, plural(len(missing), "y", "ies"), strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

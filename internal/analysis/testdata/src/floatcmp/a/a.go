@@ -1,0 +1,44 @@
+// Package a is the floatcmp golden fixture: every flagged form, every
+// accepted sentinel/idiom, and the allow annotation.
+package a
+
+import "math"
+
+func distances() (float64, float64) { return 1.0, 2.0 }
+
+func bad() {
+	a, b := distances()
+	if a == b { // want "bit-exact float comparison"
+		_ = a
+	}
+	if a != b { // want "bit-exact float comparison"
+		_ = a
+	}
+	switch a { // want "switch on float value"
+	case 1.0:
+	}
+	_ = min(a, b) // want "builtin min on float operands"
+	_ = max(a, 2) // want "builtin max on float operands"
+}
+
+func good() {
+	a, b := distances()
+	if a == 0 { // sentinel against a constant: accepted
+		_ = a
+	}
+	if b != 1.0 { // sentinel: accepted
+		_ = b
+	}
+	if a != a { // NaN idiom: accepted
+		_ = a
+	}
+	if math.IsNaN(a) {
+		return
+	}
+	_ = min(1.0, 2.0) // all-constant: accepted
+	_ = max(3, 4)     // integer: accepted
+	//lint:allow floatcmp fixture demonstrates an annotated bit-exact site
+	if a == b {
+		_ = a
+	}
+}

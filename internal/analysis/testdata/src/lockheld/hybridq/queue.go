@@ -1,0 +1,64 @@
+// Package hybridq is the lockheld golden fixture: blocking work under
+// both lock idioms, the one-level callee walk, and the single-owner
+// annotation.
+package hybridq
+
+import (
+	"sync"
+	"time"
+
+	"distjoin/internal/storage"
+)
+
+type queue struct {
+	mu    sync.Mutex
+	store storage.Store
+	ch    chan int
+	wg    sync.WaitGroup
+}
+
+// lock mirrors the real hybridq unlock-func idiom.
+func (q *queue) lock() func() {
+	q.mu.Lock()
+	return q.mu.Unlock
+}
+
+func (q *queue) badDeferIdiom(page []byte) {
+	defer q.lock()()
+	_ = q.store.ReadPage(0, page) // want "does disk I/O while the hybridq mutex is held"
+	q.ch <- 1                     // want "channel send while a hybridq mutex is held"
+	<-q.ch                        // want "channel receive while a hybridq mutex is held"
+}
+
+func (q *queue) badExplicitLock(page []byte) {
+	q.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while the hybridq mutex is held"
+	q.wg.Wait()                  // want "blocking sync Wait while the hybridq mutex is held"
+	q.mu.Unlock()
+	_ = q.store.ReadPage(0, page) // after Unlock: accepted
+}
+
+// load is the callee of the one-level walk below.
+func (q *queue) load(page []byte) {
+	_ = q.store.ReadPage(0, page)
+}
+
+func (q *queue) badViaCallee(page []byte) {
+	defer q.lock()()
+	q.load(page) // want "call to load does disk I/O"
+}
+
+func (q *queue) goodStaged(page []byte) {
+	q.mu.Lock()
+	n := len(page)
+	q.mu.Unlock()
+	_ = q.store.ReadPage(0, page[:n])
+}
+
+// allowedSingleOwner mirrors the real queue's deliberate design.
+//
+//lint:allow lockheld fixture demonstrates the single-owner annotation
+func (q *queue) allowedSingleOwner(page []byte) {
+	defer q.lock()()
+	_ = q.store.ReadPage(0, page)
+}

@@ -1,0 +1,55 @@
+// Package hooks is the nilhook golden fixture for rules 1 and 2:
+// hook-field calls and tracer emission, guarded and unguarded.
+package hooks
+
+import "distjoin/internal/trace"
+
+type queue struct {
+	fault func(op int) error
+	tr    *trace.Tracer
+}
+
+type Config struct {
+	FaultHook func(op int) error
+}
+
+func bad(q *queue, cfg Config, ev trace.Event, events []trace.Event) {
+	_ = q.fault(1)       // want "call through hook field q.fault without a nil guard"
+	_ = cfg.FaultHook(2) // want "call through hook field cfg.FaultHook without a nil guard"
+	q.tr.Emit(ev)        // want "without an q.tr.Enabled\\(\\) guard"
+	q.tr.EmitAll(events) // want "without an q.tr.Enabled\\(\\) or len\\(events\\) > 0 guard"
+}
+
+func good(q *queue, cfg Config, ev trace.Event, events []trace.Event) {
+	if q.fault != nil {
+		_ = q.fault(1)
+	}
+	if cfg.FaultHook != nil {
+		if err := cfg.FaultHook(2); err != nil {
+			return
+		}
+	}
+	if q.tr.Enabled() {
+		q.tr.Emit(ev)
+	}
+	if len(events) > 0 {
+		q.tr.EmitAll(events)
+	}
+	if len(events) == 0 {
+		return
+	}
+	q.tr.EmitAll(events)
+}
+
+func earlyExit(q *queue, ev trace.Event) {
+	if !q.tr.Enabled() {
+		return
+	}
+	q.tr.Emit(ev)
+}
+
+func conjunct(q *queue, err error, ev trace.Event) {
+	if err != nil && q.tr.Enabled() {
+		q.tr.Emit(ev)
+	}
+}

@@ -1,0 +1,42 @@
+// Package trace is the nilhook golden fixture for rule 3: exported
+// pointer-receiver methods of hook provider types (here, a Tracer
+// mimicking the real trace.Tracer) must be nil-receiver no-ops.
+package trace
+
+type Tracer struct {
+	n       int
+	dropped uint64
+}
+
+// Enabled is nil-safe: the receiver is used only in a nil comparison.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Len is nil-safe via the first-statement bail-out.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Reset is nil-safe via a disjunctive bail-out.
+func (t *Tracer) Reset() {
+	if t == nil || t.n == 0 {
+		return
+	}
+	t.n = 0
+}
+
+// Count calls only nil-safe siblings: accepted one level deep.
+func (t *Tracer) Count() int {
+	return t.Len()
+}
+
+// Dropped dereferences a possibly-nil receiver with no guard.
+func (t *Tracer) Dropped() uint64 { // want "not a nil-receiver no-op"
+	return t.dropped
+}
+
+// unexportedPeek is not part of the contract: unexported methods may
+// assume a non-nil receiver.
+func (t *Tracer) unexportedPeek() int { return t.n }

@@ -1,0 +1,29 @@
+// Package obsrv is the promdrift golden fixture for the registry
+// surface: one bogus family plus one deliberately missing contract
+// family, so both the unknown-name and the silent-removal checks fire.
+package obsrv // want "package obsrv no longer mentions contract family distjoin_edmax_overestimates_total"
+
+// families mirrors an exporter's literal name list: ten of the eleven
+// contract families (distjoin_edmax_overestimates_total is missing)
+// plus one that the contract does not know.
+var families = []string{
+	"distjoin_registry_uptime_seconds",
+	"distjoin_inflight_queries",
+	"distjoin_queries_total",
+	"distjoin_query_errors_total",
+	"distjoin_query_latency_seconds",
+	"distjoin_query_dist_calcs",
+	"distjoin_query_queue_inserts",
+	"distjoin_edmax_estimate_ratio",
+	"distjoin_edmax_corrections_total",
+	"distjoin_edmax_underestimates_total",
+	"distjoin_bogus_total", // want "not in the canonical contract"
+}
+
+// series exercises the histogram-suffix acceptance: exposition series
+// of a contract histogram are fine.
+var series = []string{
+	"distjoin_query_latency_seconds_bucket",
+	"distjoin_query_latency_seconds_sum",
+	"distjoin_query_latency_seconds_count",
+}

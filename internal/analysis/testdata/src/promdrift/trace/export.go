@@ -1,0 +1,15 @@
+// Package trace is the promdrift golden fixture for the per-query
+// surface: a drifted namespace constant and a derived-family list with
+// one silent removal.
+package trace // want "package trace no longer mentions contract family distjoin_queue_inserts_total"
+
+// promNamespace drifted away from the canonical prefix.
+const promNamespace = "nope" // want "promNamespace is \"nope\", want \"distjoin\""
+
+// derived mirrors an exporter's derived-family list, with
+// distjoin_queue_inserts_total silently dropped.
+var derived = []string{
+	"distjoin_response_time_seconds",
+	"distjoin_dist_calcs_total",
+	"distjoin_buffer_hit_ratio",
+}

@@ -199,6 +199,7 @@ var counters = []struct {
 // baseline to regress against.
 func Compare(old, new *Record, opts Options) ([]Finding, error) {
 	opts = opts.withDefaults()
+	//lint:allow floatcmp workload identity check on recorded config values round-tripped through JSON, not computed distances
 	if old.Scale != new.Scale || old.Seed != new.Seed {
 		return nil, fmt.Errorf("records not comparable: baseline scale=%g seed=%d vs new scale=%g seed=%d",
 			old.Scale, old.Seed, new.Scale, new.Seed)

@@ -153,6 +153,7 @@ func newAxisScale(vals []float64) axisScale {
 	if !(min < math.Inf(1)) {
 		min, max = 0, 1
 	}
+	//lint:allow floatcmp degenerate-range sentinel on plot axis bounds; widening is cosmetic either way
 	if min == max {
 		// Degenerate: widen so frac is defined.
 		if min == 0 {

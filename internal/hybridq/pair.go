@@ -53,6 +53,8 @@ func (p Pair) IsResult() bool { return p.LeftObj && p.RightObj }
 // byte-identical results to the serial algorithms. (The cost: at a
 // heavily tied distance — typically 0, overlapping MBRs — all tied
 // node pairs are expanded before the first tied result is emitted.)
+//
+//lint:allow floatcmp bit-exact distance tie-break IS the determinism contract the parallel engine relies on
 func (p Pair) Less(o Pair) bool {
 	if p.Dist != o.Dist {
 		return p.Dist < o.Dist

@@ -261,6 +261,7 @@ func (it *AMIDJIterator) advanceStage() bool {
 			// pure Eq. 4 / Eq. 5 corrections and match. (Only done with a
 			// registry attached; the comparison costs two extra estimator
 			// calls.)
+			//lint:allow floatcmp attribution re-runs the exact same pure computation, so bit-equality is the correct match; mismatch only demotes the label
 			switch next {
 			case it.c.est.Correct(estimate.ArithmeticOnly, it.stageK, it.produced, it.lastDist):
 				it.modeLabel = obsrv.ModeArithmetic

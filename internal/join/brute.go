@@ -41,6 +41,7 @@ func BruteForce(left, right []rtree.Item, k int) []Result {
 	}
 	// Deterministic order among ties.
 	sort.Slice(out, func(i, j int) bool {
+		//lint:allow floatcmp deterministic tie-break on bit-equal distances matches hybridq.Pair.Less
 		if out[i].Dist != out[j].Dist {
 			return out[i].Dist < out[j].Dist
 		}

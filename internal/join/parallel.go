@@ -164,6 +164,7 @@ func (ps *parallelState) run(c *execContext, tasks []ptask) {
 
 // popBatch pops up to n pairs (the n globally smallest) into dst.
 func popBatch(c *execContext, dst []hybridq.Pair, n int) []hybridq.Pair {
+	//lint:allow ctxpoll bounded by n (the worker count); the caller's drive loop polls cancellation every iteration
 	for len(dst) < n {
 		p, ok := c.queue.Pop()
 		if !ok {
@@ -569,6 +570,7 @@ func (it *AMIDJIterator) expandParallel(first hybridq.Pair) error {
 	ps := c.par
 	cur := it.eDmax
 	batch := append(make([]hybridq.Pair, 0, ps.workers), first)
+	//lint:allow ctxpoll claim loop is bounded by the worker count; Next polls cancellation before each batch
 	for len(batch) < ps.workers {
 		p, ok := c.queue.Peek()
 		if !ok || p.IsResult() {

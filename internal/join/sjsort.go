@@ -97,6 +97,11 @@ func SJSort(left, right *rtree.Tree, k int, dmax float64, opts Options) (results
 	}
 	results = make([]Result, 0, k)
 	for len(results) < k {
+		// The sorted runs can hold every candidate pair; honour
+		// cancellation while draining rather than after.
+		if err := c.cancelled(); err != nil {
+			return nil, err
+		}
 		p, ok := it.Next()
 		if !ok {
 			break

@@ -154,6 +154,7 @@ func (b *Builder) chooseSubtree(n *node, r geom.Rect) int {
 	for i, e := range n.entries {
 		enl := e.rect.Enlargement(r)
 		area := e.rect.Area()
+		//lint:allow floatcmp R*-tree tie-break cascade on bit-equal enlargements; a missed tie only changes tree shape, never correctness
 		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
 			best, bestEnl, bestArea = i, enl, area
 		}
@@ -164,6 +165,8 @@ func (b *Builder) chooseSubtree(n *node, r geom.Rect) int {
 // chooseLeastOverlapEnlargement implements the leaf-parent criterion:
 // the child whose overlap with its siblings grows least when enlarged
 // to include r.
+//
+//lint:allow floatcmp R*-tree tie-break cascade on bit-equal enlargements; a missed tie only changes tree shape, never correctness
 func (b *Builder) chooseLeastOverlapEnlargement(n *node, r geom.Rect) int {
 	best := 0
 	bestOverlap := math.Inf(1)
@@ -255,6 +258,8 @@ func (b *Builder) splitNode(n *node) *node {
 
 // sortByAxis sorts entries by (lower, upper) along axis when byLower,
 // else by (upper, lower).
+//
+//lint:allow floatcmp coordinate tie-break on bit-equal MBR bounds keeps the R* distribution sort deterministic
 func sortByAxis(entries []entry, axis int, byLower bool) {
 	sort.SliceStable(entries, func(i, j int) bool {
 		a, b := entries[i].rect, entries[j].rect
@@ -323,6 +328,7 @@ func (b *Builder) chooseSplitDistribution(entries []entry, axis int) (first, sec
 			g2 := mbrOf(sorted[k:])
 			overlap := g1.OverlapArea(g2)
 			area := g1.Area() + g2.Area()
+			//lint:allow floatcmp R*-tree tie-break on bit-equal overlap areas; a missed tie only changes tree shape, never correctness
 			if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
 				bestOverlap, bestArea = overlap, area
 				bestSorted, bestK = sorted, k

@@ -49,6 +49,8 @@ func (b *Builder) SplitPolicy() SplitPolicy { return b.splitPolicy }
 // two entries wasting the most area as seeds, then assign each
 // remaining entry to the group whose covering rectangle it enlarges
 // least, most-constrained entries first.
+//
+//lint:allow floatcmp Guttman tie-break on bit-equal enlargements/areas; a missed tie only changes tree shape, never correctness
 func (b *Builder) splitNodeQuadratic(n *node) *node {
 	entries := n.entries
 	s1, s2 := quadraticSeeds(entries)

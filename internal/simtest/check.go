@@ -156,6 +156,7 @@ func checkIncrementalMonotone(e *env, reg *obsrv.Registry) error {
 			return failf(e.s, nil, "idj-monotone", "AM-IDJ result %d dist %.17g < previous %.17g (stream not sorted)",
 				i, got[i].Dist, prev)
 		}
+		//lint:allow floatcmp oracle cross-check: the harness recomputes the same pure distance, so bit-equality is the invariant under test
 		if d := e.pairDist(got[i].LeftRect, got[i].RightRect); d != got[i].Dist {
 			return failf(e.s, nil, "idj-monotone", "AM-IDJ result %d dist %.17g inconsistent with its rects (%.17g)",
 				i, got[i].Dist, d)

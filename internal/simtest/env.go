@@ -119,6 +119,7 @@ func (e *env) brute(k int) []join.Result {
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {
+		//lint:allow floatcmp oracle tie-break mirrors the engine's bit-exact result order (hybridq.Pair.Less)
 		if all[i].Dist != all[j].Dist {
 			return all[i].Dist < all[j].Dist
 		}
@@ -233,6 +234,8 @@ func (e *env) compareExact(check, name string, got []join.Result) error {
 
 // compareExactTo is compareExact against an explicit expectation (a
 // reference prefix for the k-monotonicity check).
+//
+//lint:allow floatcmp oracle comparison is bit-exact by design: the engines must reproduce the reference distances exactly
 func (e *env) compareExactTo(check, name string, got, want []join.Result) error {
 	if len(got) != len(want) {
 		return failf(e.s, nil, check, "%s returned %d results, oracle has %d", name, len(got), len(want))

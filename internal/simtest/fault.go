@@ -261,9 +261,23 @@ func ExploreFaults(s Scenario, opts ExploreOpts) error {
 	return nil
 }
 
+// ErrScheduleNeverFires reports that a -schedule repro names a fault
+// point the clean-run census proves unreachable: on a deterministic
+// serial run the armed operation would never execute, so the "repro"
+// would silently test nothing. Callers (cmd/distjoin-sim) surface it
+// instead of reporting a hollow pass.
+var ErrScheduleNeverFires = errors.New("simtest: schedule names a fault point that never fires")
+
 // RunSchedule reproduces one fault schedule from the command line: a
 // clean census run first (to decide whether the point is reachable),
 // then the armed run with the full fail-closed battery.
+//
+// On a serial scenario the census is bit-deterministic, so a schedule
+// point at or beyond the census total is rejected with
+// ErrScheduleNeverFires rather than degraded into a no-op run. Under
+// parallelism the census varies with scheduling, so an out-of-census
+// point is still executed (the fault legitimately may or may not
+// fire).
 func RunSchedule(s Scenario, sched *FaultSchedule) error {
 	fe, err := newFaultEnv(s, nil)
 	if err != nil {
@@ -276,8 +290,12 @@ func RunSchedule(s Scenario, sched *FaultSchedule) error {
 	if err := fe.compareExact("fault-count", sched.Algo, got); err != nil {
 		return err
 	}
-	mustFire := s.Parallelism <= 1 && sched.Point < counts[sched.Target]
-	return runSchedule(s, fe.ref, sched, runtime.NumGoroutine(), mustFire)
+	serial := s.Parallelism <= 1
+	if serial && sched.Point >= counts[sched.Target] {
+		return fmt.Errorf("%w: %s counted %d %s operation(s), schedule wants point %d",
+			ErrScheduleNeverFires, sched.Algo, counts[sched.Target], sched.Target, sched.Point)
+	}
+	return runSchedule(s, fe.ref, sched, runtime.NumGoroutine(), serial)
 }
 
 // runSchedule executes one armed schedule on a fresh environment and

@@ -1,6 +1,7 @@
 package simtest
 
 import (
+	"errors"
 	"os"
 	"testing"
 	"time"
@@ -168,11 +169,21 @@ func TestRunScheduleRepro(t *testing.T) {
 			t.Fatalf("%s: %v", spec, err)
 		}
 	}
-	// Points beyond the census never fire; the run must then simply
-	// reproduce the oracle (not report a swallowed fault).
+	// A point the serial census proves unreachable is a usage error —
+	// the "repro" would test nothing — not a hollow pass.
+	serial := s
+	serial.Parallelism = 1
 	sched := &FaultSchedule{Algo: "AM-KDJ", Target: TargetLeftTree, Point: 1 << 20}
-	if err := RunSchedule(s, sched); err != nil {
-		t.Fatalf("unreachable point: %v", err)
+	if err := RunSchedule(serial, sched); !errors.Is(err, ErrScheduleNeverFires) {
+		t.Fatalf("unreachable serial point: got %v, want ErrScheduleNeverFires", err)
+	}
+	// Under parallelism the census varies with scheduling, so the armed
+	// run still executes; with the fault unreached it must simply
+	// reproduce the oracle (not report a swallowed fault).
+	par := s
+	par.Parallelism = 2
+	if err := RunSchedule(par, sched); err != nil {
+		t.Fatalf("unreachable parallel point: %v", err)
 	}
 }
 
