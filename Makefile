@@ -2,7 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race cover cover-check sim-smoke sim-soak fuzz fuzz-smoke bench bench-json bench-diff bench-baseline experiments examples ci clean
+# Export GOFLAGS into every recipe, so `make sim-smoke GOFLAGS=-count=1`
+# (make-variable form, which make does NOT export by default) reaches
+# the go tool exactly like the environment-variable form. In particular
+# -count=1 keeps cached test results from masking a flaky seed.
+export GOFLAGS
+
+# Lint-tool versions — the single source of truth shared by local runs
+# and CI (.github/workflows/ci.yml installs exactly these via
+# `make lint-tools`), so the two can never disagree about what "clean"
+# means.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+ACTIONLINT_VERSION ?= v1.7.7
+
+.PHONY: all build vet lint lint-tools test test-short race cover cover-check sim-smoke sim-soak fuzz fuzz-smoke bench bench-json bench-diff bench-baseline experiments examples ci clean
 
 # Coverage floor for the cover-check gate: the suite sits above 80%,
 # so the floor guards against untested subsystems landing, with a
@@ -43,10 +57,18 @@ vet: $(VETTOOL)
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(abspath $(VETTOOL)) ./...
 
-# Fail if any file needs gofmt; run staticcheck and govulncheck when
-# available (CI installs them — see .github/workflows/ci.yml — so a
-# missing local binary degrades to a note instead of a hard
-# dependency).
+# Install the pinned lint toolchain (staticcheck, govulncheck,
+# actionlint). CI runs this before `make lint`; locally it is optional —
+# lint degrades missing binaries to notes.
+lint-tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+	$(GO) install github.com/rhysd/actionlint/cmd/actionlint@$(ACTIONLINT_VERSION)
+
+# Fail if any file needs gofmt; run staticcheck, govulncheck and
+# actionlint when available (CI installs the pinned versions via
+# lint-tools — so a missing local binary degrades to a note instead of
+# a hard dependency).
 lint: vet
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -57,12 +79,17 @@ lint: vet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "note: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
+		echo "note: staticcheck not installed, skipping (make lint-tools)"; \
 	fi
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
 	else \
-		echo "note: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+		echo "note: govulncheck not installed, skipping (make lint-tools)"; \
+	fi
+	@if command -v actionlint >/dev/null 2>&1; then \
+		actionlint; \
+	else \
+		echo "note: actionlint not installed, skipping (make lint-tools)"; \
 	fi
 
 test:
@@ -121,8 +148,17 @@ bench-json:
 	$(GO) run ./cmd/distjoin-bench -bench-json $(BENCH_NEW) -scale $(BENCH_SCALE)
 
 # Gate a candidate record against the committed baseline; fails when a
-# deterministic cost counter regresses past BENCH_THRESHOLD.
+# deterministic cost counter regresses past BENCH_THRESHOLD. On a fresh
+# clone (or after changing BENCH_BASELINE) the baseline may not exist
+# yet — say exactly how to create it instead of letting benchdiff die
+# on a missing file.
 bench-diff: bench-json
+	@if [ ! -f "$(BENCH_BASELINE)" ]; then \
+		echo "bench-diff: baseline $(BENCH_BASELINE) not found." >&2; \
+		echo "bench-diff: record one first with: make bench-baseline" >&2; \
+		echo "bench-diff: (baselines are host-specific for wall time; counters are portable)" >&2; \
+		exit 1; \
+	fi
 	$(GO) run ./cmd/benchdiff -old $(BENCH_BASELINE) -new $(BENCH_NEW) -threshold $(BENCH_THRESHOLD)
 
 # Refresh the committed baseline (after a justified counter shift).

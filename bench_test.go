@@ -307,3 +307,28 @@ func BenchmarkAMKDJParallelWorkers(b *testing.B) {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) { benchAMKDJ(b, p) })
 	}
 }
+
+// BenchmarkAMKDJSharded sweeps the partition-parallel executor: the
+// same 50k x 50k workload grid-partitioned into Shards shards, with
+// partition pairs joined on a per-CPU worker pool under bounds-only
+// pruning. Compare against BenchmarkAMKDJParallel — on a multi-core
+// host the sharded run's independent per-shard joins scale past the
+// single-tree engine's barrier-synchronized expansion workers.
+func BenchmarkAMKDJSharded(b *testing.B) {
+	for _, s := range []int{4, 9, 16} {
+		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) {
+			left, right := parallelBenchIndexes(b)
+			const k = 10000
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := KDistanceJoin(left, right, k, &Options{Shards: s, Parallelism: AutoParallelism})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(got) != k {
+					b.Fatalf("got %d results, want %d", len(got), k)
+				}
+			}
+		})
+	}
+}

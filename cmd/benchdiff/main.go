@@ -91,7 +91,9 @@ func printSummary(old, cur *benchrec.Record) {
 		old.Scale, old.Seed, old.CreatedAt, cur.CreatedAt)
 	fmt.Printf("%-24s %14s %14s %10s %12s\n",
 		"entry", "dist calcs", "queue inserts", "wall (s)", "wall Δ")
+	baseline := make(map[string]bool, len(old.Entries))
 	for _, oe := range old.Entries {
+		baseline[oe.Name] = true
 		ne, ok := byName[oe.Name]
 		if !ok {
 			continue // Compare already errored on this
@@ -103,5 +105,21 @@ func printSummary(old, cur *benchrec.Record) {
 		fmt.Printf("%-24s %6d → %6d %6d → %6d %10.4f %12s\n",
 			oe.Name, oe.DistCalcs, ne.DistCalcs,
 			oe.QueueInserts, ne.QueueInserts, ne.WallSeconds, delta)
+	}
+	// Entries only the candidate records (e.g. the sharded AM-KDJ
+	// series before the baseline is regenerated) are fresh coverage:
+	// informational, never gating, but worth surfacing so new series
+	// don't ship invisibly.
+	first := true
+	for _, ne := range cur.Entries {
+		if baseline[ne.Name] {
+			continue
+		}
+		if first {
+			fmt.Println("new series (informational, not in baseline):")
+			first = false
+		}
+		fmt.Printf("%-32s %14d %14d %10.4f\n",
+			ne.Name, ne.DistCalcs, ne.QueueInserts, ne.WallSeconds)
 	}
 }

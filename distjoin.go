@@ -41,6 +41,7 @@ import (
 	"distjoin/internal/metrics"
 	"distjoin/internal/obsrv"
 	"distjoin/internal/rtree"
+	"distjoin/internal/shard"
 	"distjoin/internal/storage"
 	"distjoin/internal/trace"
 )
@@ -272,6 +273,17 @@ type Options struct {
 	// completion. A nil registry costs nothing. See NewRegistry,
 	// DefaultRegistry, and ServeObservability.
 	Registry *Registry
+	// Shards, when positive, runs KDistanceJoin / KClosestPairs with
+	// AMKDJ or BKDJ through the partition-parallel sharded executor:
+	// both datasets are grid-partitioned into roughly Shards spatial
+	// shards (rounded to the nearest square grid), each shard gets a
+	// private bulk-loaded R-tree, and partition pairs are joined on a
+	// Parallelism-sized worker pool with bounds-only pruning against a
+	// shared global cutoff. Results are byte-identical to the
+	// single-tree engine at any shard and worker count (see
+	// docs/sharding.md). Zero disables sharding (default); the other
+	// algorithms and the ancillary joins ignore this field.
+	Shards int
 }
 
 // AutoParallelism, assigned to Options.Parallelism, sizes the worker
@@ -467,8 +479,16 @@ func KDistanceJoin(left, right *Index, k int, opts *Options) ([]Pair, error) {
 	)
 	switch algo {
 	case AMKDJ:
+		if opts != nil && opts.Shards > 0 {
+			results, err = shard.KDJ(left.tree, right.tree, k, shard.AMKDJ, shard.Config{Shards: opts.Shards}, jo)
+			break
+		}
 		results, err = join.AMKDJ(left.tree, right.tree, k, jo)
 	case BKDJ:
+		if opts != nil && opts.Shards > 0 {
+			results, err = shard.KDJ(left.tree, right.tree, k, shard.BKDJ, shard.Config{Shards: opts.Shards}, jo)
+			break
+		}
 		results, err = join.BKDJ(left.tree, right.tree, k, jo)
 	case HSKDJ:
 		results, err = join.HSKDJ(left.tree, right.tree, k, jo)

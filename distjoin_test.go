@@ -1,6 +1,7 @@
 package distjoin
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"path/filepath"
@@ -566,5 +567,63 @@ func TestKNNJoinFacade(t *testing.T) {
 	}
 	if err := KNNJoin(left, right, k, nil, nil); err == nil {
 		t.Fatal("nil callback must error")
+	}
+}
+
+// TestShardedJoinIdentity pins the Options.Shards contract at the
+// facade: sharded KDistanceJoin and KClosestPairs return exactly the
+// pairs the single-tree engine returns, for both eligible algorithms
+// across shard and worker counts.
+func TestShardedJoinIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := randObjects(rng, 400, 100000, 300)
+	b := randObjects(rng, 300, 100000, 300)
+	left, err := NewIndex(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := NewIndex(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePairs := func(label string, got, want []Pair) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: got %d pairs, want %d", label, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: pair %d = %+v, want %+v", label, i, got[i], want[i])
+			}
+		}
+	}
+	for _, algo := range []Algorithm{AMKDJ, BKDJ} {
+		want, err := KDistanceJoin(left, right, 50, &Options{Algorithm: algo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 4, 9} {
+			for _, par := range []int{1, 8} {
+				got, err := KDistanceJoin(left, right, 50, &Options{Algorithm: algo, Shards: shards, Parallelism: par})
+				if err != nil {
+					t.Fatalf("%v s=%d par=%d: %v", algo, shards, par, err)
+				}
+				samePairs(fmt.Sprintf("%v/s=%d/par=%d", algo, shards, par), got, want)
+			}
+		}
+	}
+	// Self-join through KClosestPairs.
+	wantSelf, err := KClosestPairs(left, 40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSelf, err := KClosestPairs(left, 40, &Options{Shards: 4, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePairs("self/s=4", gotSelf, wantSelf)
+	// Algorithms outside {AMKDJ, BKDJ} ignore Shards rather than fail.
+	if _, err := KDistanceJoin(left, right, 50, &Options{Algorithm: HSKDJ, Shards: 4}); err != nil {
+		t.Fatalf("HSKDJ with Shards set: %v", err)
 	}
 }

@@ -163,6 +163,56 @@ func TigerHydro(seed int64, n int) []rtree.Item {
 	return items[:n]
 }
 
+// GridStraddle returns n items deliberately hostile to grid
+// partitioning: Gaussian clusters centered on the interior cell
+// corners of a g x g grid over bounds, so item MBRs straddle partition
+// boundaries and neighboring shards end up with near-identical MBR
+// mindists, plus a heavy hotspot in one cell for population skew. It
+// stresses the sharded scheduler's pruning and determinism exactly
+// where grid partitioning is weakest. Object IDs are 0..n-1.
+func GridStraddle(seed int64, n, g int, bounds geom.Rect, maxSide float64) []rtree.Item {
+	if g < 2 {
+		g = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Interior grid corners: (g-1)^2 boundary hotspots.
+	type corner struct{ x, y float64 }
+	corners := make([]corner, 0, (g-1)*(g-1))
+	for i := 1; i < g; i++ {
+		for j := 1; j < g; j++ {
+			corners = append(corners, corner{
+				x: bounds.MinX + bounds.Side(0)*float64(i)/float64(g),
+				y: bounds.MinY + bounds.Side(1)*float64(j)/float64(g),
+			})
+		}
+	}
+	// Cluster spread of ~one tenth of a cell keeps most mass within
+	// the four cells meeting at the corner.
+	stddev := math.Min(bounds.Side(0), bounds.Side(1)) / float64(g) / 10
+	hotX := bounds.MinX + bounds.Side(0)/(2*float64(g))
+	hotY := bounds.MinY + bounds.Side(1)/(2*float64(g))
+	items := make([]rtree.Item, n)
+	for i := range items {
+		var cx, cy float64
+		if rng.Float64() < 0.3 {
+			// Population skew: 30% of the data piles into the first cell.
+			cx = hotX + rng.NormFloat64()*stddev
+			cy = hotY + rng.NormFloat64()*stddev
+		} else {
+			c := corners[rng.Intn(len(corners))]
+			cx = c.x + rng.NormFloat64()*stddev
+			cy = c.y + rng.NormFloat64()*stddev
+		}
+		w := rng.Float64() * maxSide / 2
+		h := rng.Float64() * maxSide / 2
+		items[i] = rtree.Item{
+			Rect: clampRect(geom.NewRect(cx-w, cy-h, cx+w, cy+h), bounds),
+			Obj:  int64(i),
+		}
+	}
+	return items
+}
+
 // town is an urban center for the street generator.
 type town struct {
 	x, y, spread float64

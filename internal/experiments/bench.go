@@ -95,6 +95,21 @@ func PerfRecord(cfg Config, parallelism int) (*benchrec.Record, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Sharded AM-KDJ series at the same k: partition-parallel
+		// execution over 4 and 9 shards. Entries carry Parallelism > 1,
+		// which benchrec.Compare treats as informational (non-gating) —
+		// cmd/benchdiff reports them as fresh coverage until a baseline
+		// records them.
+		for _, shards := range []int{4, 9} {
+			shards := shards
+			name := fmt.Sprintf("AM-KDJ/k=%d/sharded/s=%d", k, shards)
+			err := measure(name, AlgoAMKDJ, k, parallelism, func() (*metrics.Collector, error) {
+				return w.RunKDJSharded(k, shards, parallelism)
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
 	return rec, nil
 }

@@ -19,6 +19,7 @@ import (
 	"distjoin/internal/join"
 	"distjoin/internal/metrics"
 	"distjoin/internal/rtree"
+	"distjoin/internal/shard"
 	"distjoin/internal/storage"
 )
 
@@ -253,6 +254,29 @@ func (w *Workload) RunKDJ(algo Algo, k int, opts join.Options) (*metrics.Collect
 	}
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s k=%d: %w", algo, k, err)
+	}
+	return mc, nil
+}
+
+// RunKDJSharded executes one cold AM-KDJ query through the
+// partition-parallel sharded executor and returns its collected
+// metrics. Wall clock is the interesting signal; the counters are
+// worker-order dependent (pruning races the cutoff), so benchmark
+// entries recorded from this path must carry Parallelism > 1 to stay
+// informational in the regression gate.
+func (w *Workload) RunKDJSharded(k, shards, parallelism int) (*metrics.Collector, error) {
+	if err := w.coldStart(); err != nil {
+		return nil, err
+	}
+	mc := &metrics.Collector{}
+	opts := join.Options{
+		Metrics:       mc,
+		QueueMemBytes: w.Cfg.QueueMemBytes,
+		Parallelism:   parallelism,
+	}
+	cfg := shard.Config{Shards: shards}
+	if _, err := shard.KDJ(w.Streets, w.Hydro, k, shard.AMKDJ, cfg, opts); err != nil {
+		return nil, fmt.Errorf("experiments: AM-KDJ/s%d k=%d: %w", shards, k, err)
 	}
 	return mc, nil
 }

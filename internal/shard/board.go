@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"distjoin/internal/join"
+)
+
+// canonicalLess is the engine's result tie-break (hybridq.Pair.Less):
+// distance, then left ID, then right ID. All object IDs are
+// non-negative, so int64 order agrees with the queue's uint64 order.
+//
+//lint:allow floatcmp canonical tie-break is bit-exact by contract: equal-distance pairs order by ID
+func canonicalLess(a, b join.Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	if a.LeftObj != b.LeftObj {
+		return a.LeftObj < b.LeftObj
+	}
+	return a.RightObj < b.RightObj
+}
+
+// cutoffBoard is the shared top-k accumulator: a mutex-guarded
+// k-bounded max-heap of results under the canonical order, plus an
+// atomically published copy of the current k-th distance upper bound
+// so workers can run the pruning test without taking the lock.
+//
+// The bound starts at +Inf and only ever tightens; a k-bounded
+// canonical heap's final content is a pure function of the inserted
+// multiset, which is what makes the merge deterministic under any
+// worker interleaving.
+type cutoffBoard struct {
+	k    int
+	mu   sync.Mutex
+	heap []join.Result // max-heap: heap[0] is the canonical-worst kept result
+	bits atomic.Uint64 // math.Float64bits of the published bound
+	seq  atomic.Int64  // cutoff-broadcast counter
+}
+
+func newBoard(k int) *cutoffBoard {
+	b := &cutoffBoard{k: k}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+// bound returns the published k-th distance upper bound: +Inf until k
+// results have merged, then the heap root's distance.
+func (b *cutoffBoard) bound() float64 {
+	return math.Float64frombits(b.bits.Load())
+}
+
+// merge folds a task's results into the board. It reports the bound
+// after the merge, whether this merge tightened it, and the broadcast
+// sequence number of the tightening.
+func (b *cutoffBoard) merge(rs []join.Result) (bound float64, tightened bool, seq int64) {
+	if len(rs) == 0 {
+		return b.bound(), false, 0
+	}
+	b.mu.Lock()
+	for _, r := range rs {
+		if len(b.heap) < b.k {
+			b.heap = append(b.heap, r)
+			b.siftUp(len(b.heap) - 1)
+			continue
+		}
+		if canonicalLess(r, b.heap[0]) {
+			b.heap[0] = r
+			b.siftDown(0)
+		}
+	}
+	bound = math.Inf(1)
+	if len(b.heap) == b.k {
+		bound = b.heap[0].Dist
+	}
+	if bound < math.Float64frombits(b.bits.Load()) {
+		b.bits.Store(math.Float64bits(bound))
+		tightened = true
+		seq = b.seq.Add(1)
+	}
+	b.mu.Unlock()
+	return bound, tightened, seq
+}
+
+// final returns the kept results in canonical ascending order.
+func (b *cutoffBoard) final() []join.Result {
+	b.mu.Lock()
+	out := make([]join.Result, len(b.heap))
+	copy(out, b.heap)
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return canonicalLess(out[i], out[j]) })
+	return out
+}
+
+// siftUp / siftDown maintain the max-heap property under the
+// canonical order: a parent is never canonically less than a child.
+func (b *cutoffBoard) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !canonicalLess(b.heap[p], b.heap[i]) {
+			return
+		}
+		b.heap[p], b.heap[i] = b.heap[i], b.heap[p]
+		i = p
+	}
+}
+
+func (b *cutoffBoard) siftDown(i int) {
+	n := len(b.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && canonicalLess(b.heap[big], b.heap[l]) {
+			big = l
+		}
+		if r < n && canonicalLess(b.heap[big], b.heap[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		b.heap[i], b.heap[big] = b.heap[big], b.heap[i]
+		i = big
+	}
+}

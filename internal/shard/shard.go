@@ -1,0 +1,465 @@
+// Package shard adds a second axis of parallelism to the k-distance
+// join: instead of parallelizing expansions inside one R-tree pair, it
+// grid-partitions both datasets into spatial shards, bulk-loads a
+// private R-tree per shard, and schedules the cross product of
+// partition *pairs* onto a worker pool. A shared, atomically published
+// global cutoff — the running upper bound on the k-th smallest
+// distance — feeds a bounds-only pruning test: any partition pair
+// whose shard-MBR-to-shard-MBR mindist exceeds the cutoff cannot
+// contribute a top-k pair and is skipped without touching its trees.
+//
+// # Determinism contract
+//
+// Sharded execution returns results byte-identical to the single-tree
+// serial engine, at any shard count and any worker count:
+//
+//   - Every object pair appears in exactly one partition pair (each
+//     object is assigned to exactly one shard by its MBR center), so
+//     no pair is seen twice and none is lost.
+//   - Each inner join runs the serial engine on shard trees; it
+//     computes the same float operations on the same rectangles as the
+//     single-tree engine, so surviving pair distances are bit-exact.
+//   - The merged result set is a k-bounded heap under the engine's
+//     canonical tie-break (Dist, LeftObj, RightObj). A k-bounded
+//     canonical heap's final content is a pure function of the
+//     inserted multiset — insertion order, and therefore worker
+//     scheduling, cannot change it.
+//   - Pruning is conservative: a pair is skipped only when its MBR
+//     mindist is strictly greater than the current cutoff, and the
+//     cutoff is always an upper bound on the final k-th distance.
+//     Every object pair inside a pruned partition pair is at distance
+//     >= the partition mindist > cutoff >= final k-th distance, so
+//     pruned pairs contain no final result (ties at the k-boundary
+//     survive because the test is strict). Which pairs get pruned is
+//     timing-dependent; the final top-k is not.
+//
+// The trace event stream (shard_run / shard_skip / cutoff_broadcast)
+// reflects actual execution order and is therefore not deterministic
+// across runs with Parallelism > 1 — only the results are.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"distjoin/internal/geom"
+	"distjoin/internal/join"
+	"distjoin/internal/metrics"
+	"distjoin/internal/obsrv"
+	"distjoin/internal/rtree"
+	"distjoin/internal/storage"
+	"distjoin/internal/trace"
+)
+
+// Algo selects the inner per-shard join algorithm.
+type Algo int
+
+const (
+	// AMKDJ runs the adaptive multi-stage k-distance join per shard,
+	// seeding each inner run's EDmax from the global cutoff (AM-KDJ's
+	// compensation machinery keeps any seed exact).
+	AMKDJ Algo = iota
+	// BKDJ runs the basic k-distance join per shard.
+	BKDJ
+)
+
+// String returns the engine's canonical algorithm name.
+func (a Algo) String() string {
+	if a == BKDJ {
+		return "B-KDJ"
+	}
+	return "AM-KDJ"
+}
+
+// Config sizes the partitioning.
+type Config struct {
+	// Shards is the requested shard count per dataset. The grid is
+	// g x g with g = round(sqrt(Shards)), so non-square requests are
+	// rounded to the nearest square (minimum 1). Empty grid cells are
+	// dropped, so the effective shard count can be lower on sparse or
+	// skewed data.
+	Shards int
+	// PageSize is the page size for the per-shard tree stores;
+	// <= 0 selects storage.DefaultPageSize.
+	PageSize int
+	// BufBytes is the per-shard tree buffer-pool size; <= 0 selects
+	// defaultBufBytes.
+	BufBytes int
+}
+
+// defaultBufBytes is the per-shard buffer pool used when Config leaves
+// BufBytes unset. Shard trees are small (1/Shards of the data), so a
+// modest pool keeps them memory-resident.
+const defaultBufBytes = 512 << 10
+
+func (c Config) grid() int {
+	g := int(math.Round(math.Sqrt(float64(c.Shards))))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+func (c Config) pageSize() int {
+	if c.PageSize <= 0 {
+		return storage.DefaultPageSize
+	}
+	return c.PageSize
+}
+
+func (c Config) bufBytes() int {
+	if c.BufBytes <= 0 {
+		return defaultBufBytes
+	}
+	return c.BufBytes
+}
+
+// part is one non-empty spatial shard: its members, their tight MBR,
+// and the private R-tree packed over them.
+type part struct {
+	items []rtree.Item
+	mbr   geom.Rect
+	tree  *rtree.Tree
+}
+
+// task is one scheduled partition pair. mindist is the shard-MBR
+// lower bound driving the pruning test.
+type task struct {
+	li, ri  int
+	mindist float64
+}
+
+// KDJ runs the sharded k-distance join: results are byte-identical to
+// join.AMKDJ / join.BKDJ on the original trees (see the package
+// comment for the determinism argument). opts.Parallelism sizes the
+// partition-pair worker pool (join.AutoParallelism for one worker per
+// CPU); each inner per-shard join runs serially. opts.SelfJoin applies
+// the usual self-join semantics (left and right must then hold the
+// same dataset, and only pairs with LeftObj < RightObj are reported).
+func KDJ(left, right *rtree.Tree, k int, algo Algo, cfg Config, opts join.Options) (results []join.Result, retErr error) {
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("shard: nil tree")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("shard: k must be positive, got %d", k)
+	}
+
+	mc := opts.Metrics
+	if mc == nil && opts.Registry != nil {
+		// The registry snapshot needs a collector even when the caller
+		// didn't ask for one.
+		mc = &metrics.Collector{}
+	}
+	rq := opts.Registry.Begin(algo.String()+"/shard", k)
+	defer func() { rq.End(mc, retErr) }()
+	mc.Start()
+	defer mc.Finish()
+	tr := opts.Trace
+
+	// --- Partition ----------------------------------------------------
+	rq.SetStage("partition")
+	g := cfg.grid()
+	world := left.Bounds().Union(right.Bounds())
+	lparts, err := buildParts(left, world, g, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("shard: left partition: %w", err)
+	}
+	var rparts []part
+	if opts.SelfJoin {
+		// Self-join: both sides are the same dataset; partition once
+		// and reuse the shard trees, exactly as the serial engine
+		// walks one tree against itself.
+		rparts = lparts
+	} else if rparts, err = buildParts(right, world, g, cfg); err != nil {
+		return nil, fmt.Errorf("shard: right partition: %w", err)
+	}
+	if len(lparts) == 0 || len(rparts) == 0 {
+		return nil, nil
+	}
+
+	tasks := planTasks(lparts, rparts, opts.SelfJoin, mc)
+	if tr.Enabled() {
+		tr.Emit(trace.Event{
+			Kind: trace.KindShardPlan, Algo: algo.String(), Stage: "partition",
+			Count: int64(len(tasks)), LeftLevel: len(lparts), RightLevel: len(rparts),
+		})
+	}
+
+	// --- Join ---------------------------------------------------------
+	rq.SetStage("join")
+	board := newBoard(k)
+	workers := resolveWorkers(opts.Parallelism)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	var (
+		next    atomic.Int64
+		aborted atomic.Bool
+		errMu   sync.Mutex
+		wg      sync.WaitGroup
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if retErr == nil {
+			retErr = err
+		}
+		errMu.Unlock()
+		aborted.Store(true)
+	}
+	aggs := make([]*metrics.Collector, workers)
+	for w := 0; w < workers; w++ {
+		agg := &metrics.Collector{}
+		aggs[w] = agg
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if aborted.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				if opts.Context != nil {
+					if cerr := opts.Context.Err(); cerr != nil {
+						setErr(cerr)
+						return
+					}
+				}
+				if err := runTask(tasks[i], lparts, rparts, k, algo, opts, board, rq, tr, agg); err != nil {
+					setErr(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if retErr != nil {
+		if tr.Enabled() {
+			tr.Emit(trace.Event{Kind: trace.KindError, Algo: algo.String(), Stage: "join", Err: retErr.Error()})
+		}
+		return nil, retErr
+	}
+	for _, agg := range aggs {
+		mc.Add(agg)
+	}
+
+	// --- Merge --------------------------------------------------------
+	rq.SetStage("merge")
+	out := board.final()
+	mc.AddResult(int64(len(out)))
+	return out, nil
+}
+
+// resolveWorkers mirrors the join engine's Parallelism resolution:
+// negative requests one worker per CPU, and the result is clamped to
+// [1, join.MaxParallelism].
+func resolveWorkers(p int) int {
+	if p < 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > join.MaxParallelism {
+		p = join.MaxParallelism
+	}
+	return p
+}
+
+// buildParts extracts t's objects, assigns each to a g x g grid cell
+// by MBR center, and packs one R-tree per non-empty cell. The shard
+// MBR is the tight union of member rects (tighter than the grid cell,
+// which sharpens the pruning bound).
+func buildParts(t *rtree.Tree, world geom.Rect, g int, cfg Config) ([]part, error) {
+	items := make([]rtree.Item, 0, t.Size())
+	// A nil collector keeps extraction out of the query's node-access
+	// accounting; the serial engine never pays this scan either.
+	err := t.Search(t.Bounds(), nil, func(it rtree.Item) bool {
+		items = append(items, it)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	cells := make([][]rtree.Item, g*g)
+	for _, it := range items {
+		ci := cellIndex(it.Rect.Center(), world, g)
+		cells[ci] = append(cells[ci], it)
+	}
+	parts := make([]part, 0, len(cells))
+	for _, cell := range cells {
+		if len(cell) == 0 {
+			continue
+		}
+		mbr := cell[0].Rect
+		for _, it := range cell[1:] {
+			mbr = mbr.Union(it.Rect)
+		}
+		b, err := rtree.NewBuilderForPageSize(cfg.pageSize())
+		if err != nil {
+			return nil, err
+		}
+		b.BulkLoad(cell)
+		tree, err := b.Pack(storage.NewMemStore(cfg.pageSize()), cfg.bufBytes())
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, part{items: cell, mbr: mbr, tree: tree})
+	}
+	return parts, nil
+}
+
+// cellIndex maps a center point to its grid cell, clamping boundary
+// and degenerate (zero-extent world) cases into [0, g-1] per axis.
+func cellIndex(c geom.Point, world geom.Rect, g int) int {
+	ix := cellCoord(c.X, world.MinX, world.Side(0), g)
+	iy := cellCoord(c.Y, world.MinY, world.Side(1), g)
+	return iy*g + ix
+}
+
+func cellCoord(v, lo, side float64, g int) int {
+	if side <= 0 {
+		return 0
+	}
+	i := int(float64(g) * (v - lo) / side)
+	if i < 0 {
+		return 0
+	}
+	if i >= g {
+		return g - 1
+	}
+	return i
+}
+
+// planTasks enumerates partition pairs with their MBR mindist lower
+// bounds and sorts them ascending by (mindist, li, ri). Running likely
+// close pairs first tightens the cutoff early, which is what makes the
+// bounds-only pruning bite; the deterministic sort also makes the
+// single-worker schedule fully reproducible for the fault harness.
+func planTasks(lparts, rparts []part, selfJoin bool, mc *metrics.Collector) []task {
+	var tasks []task
+	for li := range lparts {
+		for ri := range rparts {
+			if selfJoin && ri < li {
+				// (i,j) and (j,i) cover the same unordered object
+				// pairs; keep the li <= ri half.
+				continue
+			}
+			mc.AddRealDist(1)
+			tasks = append(tasks, task{li: li, ri: ri, mindist: lparts[li].mbr.MinDist(rparts[ri].mbr)})
+		}
+	}
+	sort.Slice(tasks, func(i, j int) bool {
+		if tasks[i].mindist < tasks[j].mindist {
+			return true
+		}
+		if tasks[j].mindist < tasks[i].mindist {
+			return false
+		}
+		if tasks[i].li != tasks[j].li {
+			return tasks[i].li < tasks[j].li
+		}
+		return tasks[i].ri < tasks[j].ri
+	})
+	return tasks
+}
+
+// runTask executes one partition pair on a worker: prune against the
+// current cutoff, otherwise run the inner serial join on the shard
+// trees, normalize self-join cross-pair orientation, and merge into
+// the global board. Inner metrics fold into agg with WallTime and
+// ResultsProduced zeroed — wall time is the coordinator's measurement
+// and results are counted once at the end, matching the serial
+// engine's accounting.
+func runTask(t task, lparts, rparts []part, k int, algo Algo, opts join.Options,
+	board *cutoffBoard, rq *obsrv.Query, tr *trace.Tracer, agg *metrics.Collector) error {
+	bound := board.bound()
+	if t.mindist > bound {
+		if tr.Enabled() {
+			tr.Emit(trace.Event{
+				Kind: trace.KindShardSkip, Algo: algo.String(), Stage: "join",
+				Dist: t.mindist, EDmax: bound, LeftLevel: t.li, RightLevel: t.ri,
+			})
+		}
+		return nil
+	}
+
+	crossSelf := opts.SelfJoin && t.li != t.ri
+	imc := &metrics.Collector{}
+	inner := opts
+	inner.Parallelism = 0
+	inner.Metrics = imc
+	inner.Trace = nil
+	inner.Registry = nil
+	inner.SelfJoin = opts.SelfJoin && t.li == t.ri
+	if !math.IsInf(bound, 1) {
+		// Seed the inner run from the global cutoff: for AM-KDJ any
+		// seed is exact (compensation recovers missed pairs); B-KDJ
+		// ignores EDmax entirely.
+		inner.EDmax = bound
+	}
+	if crossSelf && opts.Refiner != nil {
+		// The serial self-join engine only ever refines pairs with
+		// LeftObj < RightObj. A cross-shard pair can arrive in either
+		// orientation, so normalize before calling the user refiner to
+		// keep the float computation bit-identical.
+		user := opts.Refiner
+		inner.Refiner = func(l, r int64, lr, rr geom.Rect) float64 {
+			if l > r {
+				return user(r, l, rr, lr)
+			}
+			return user(l, r, lr, rr)
+		}
+	}
+
+	var (
+		rs  []join.Result
+		err error
+	)
+	switch algo {
+	case BKDJ:
+		rs, err = join.BKDJ(lparts[t.li].tree, rparts[t.ri].tree, k, inner)
+	default:
+		rs, err = join.AMKDJ(lparts[t.li].tree, rparts[t.ri].tree, k, inner)
+	}
+	if err != nil {
+		return err
+	}
+	if crossSelf {
+		for i := range rs {
+			if rs[i].LeftObj > rs[i].RightObj {
+				rs[i].LeftObj, rs[i].RightObj = rs[i].RightObj, rs[i].LeftObj
+				rs[i].LeftRect, rs[i].RightRect = rs[i].RightRect, rs[i].LeftRect
+			}
+		}
+	}
+
+	newBound, tightened, seq := board.merge(rs)
+	if tightened {
+		rq.SetEDmax(newBound)
+		if tr.Enabled() {
+			tr.Emit(trace.Event{
+				Kind: trace.KindCutoffBroadcast, Algo: algo.String(), Stage: "join",
+				EDmax: newBound, Count: seq,
+			})
+		}
+	}
+	if tr.Enabled() {
+		tr.Emit(trace.Event{
+			Kind: trace.KindShardRun, Algo: algo.String(), Stage: "join",
+			Dist: t.mindist, EDmax: bound, Count: imc.DistCalcs(),
+			LeftLevel: t.li, RightLevel: t.ri,
+		})
+	}
+	imc.WallTime = 0
+	imc.ResultsProduced = 0
+	agg.Add(imc)
+	return nil
+}

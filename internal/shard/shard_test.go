@@ -1,0 +1,369 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"distjoin/internal/datagen"
+	"distjoin/internal/geom"
+	"distjoin/internal/hybridq"
+	"distjoin/internal/join"
+	"distjoin/internal/metrics"
+	"distjoin/internal/obsrv"
+	"distjoin/internal/rtree"
+	"distjoin/internal/storage"
+	"distjoin/internal/trace"
+)
+
+func buildTree(t *testing.T, items []rtree.Item) *rtree.Tree {
+	t.Helper()
+	b, err := rtree.NewBuilderForPageSize(storage.DefaultPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.BulkLoad(items)
+	tree, err := b.Pack(storage.NewMemStore(storage.DefaultPageSize), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// sameResults asserts bit-exact identity with the serial reference.
+func sameResults(t *testing.T, label string, got, want []join.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		//lint:allow floatcmp identity check is bit-exact by the determinism contract
+		if got[i].Dist != want[i].Dist || got[i].LeftObj != want[i].LeftObj ||
+			got[i].RightObj != want[i].RightObj ||
+			got[i].LeftRect != want[i].LeftRect || got[i].RightRect != want[i].RightRect {
+			t.Fatalf("%s: result %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardIdentity is the tentpole contract: sharded execution is
+// byte-identical to the single-tree serial engine across shard counts
+// {1,4,9} x parallelism {1,8} for both inner algorithms, on uniform
+// and partition-hostile data. CI's shard-identity race step runs
+// exactly this test under -race.
+func TestShardIdentity(t *testing.T) {
+	datasets := []struct {
+		name        string
+		left, right []rtree.Item
+	}{
+		{"uniform", datagen.Uniform(7, 500, datagen.World, 4000), datagen.Uniform(8, 400, datagen.World, 4000)},
+		{"straddle", datagen.GridStraddle(9, 450, 3, datagen.World, 3000), datagen.GridStraddle(10, 350, 3, datagen.World, 3000)},
+	}
+	for _, ds := range datasets {
+		lt, rt := buildTree(t, ds.left), buildTree(t, ds.right)
+		for _, algo := range []Algo{AMKDJ, BKDJ} {
+			k := 64
+			var want []join.Result
+			var err error
+			switch algo {
+			case BKDJ:
+				want, err = join.BKDJ(lt, rt, k, join.Options{})
+			default:
+				want, err = join.AMKDJ(lt, rt, k, join.Options{})
+			}
+			if err != nil {
+				t.Fatalf("%s serial %s: %v", ds.name, algo, err)
+			}
+			for _, shards := range []int{1, 4, 9} {
+				for _, par := range []int{1, 8} {
+					got, err := KDJ(lt, rt, k, algo, Config{Shards: shards}, join.Options{Parallelism: par})
+					if err != nil {
+						t.Fatalf("%s %s s=%d par=%d: %v", ds.name, algo, shards, par, err)
+					}
+					sameResults(t, fmt.Sprintf("%s/%s/s=%d/par=%d", ds.name, algo, shards, par), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestShardRefinerIdentity covers the exact-distance refinement path:
+// the refiner contract (exact >= MBR mindist) must survive sharding.
+func TestShardRefinerIdentity(t *testing.T) {
+	left := datagen.GaussianClusters(11, 400, 6, datagen.World, 30000, 3000)
+	right := datagen.GaussianClusters(12, 300, 6, datagen.World, 30000, 3000)
+	lt, rt := buildTree(t, left), buildTree(t, right)
+	refine := func(_, _ int64, l, r geom.Rect) float64 { return l.CenterDist(r) }
+	want, err := join.AMKDJ(lt, rt, 48, join.Options{Refiner: refine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{4, 9} {
+		got, err := KDJ(lt, rt, 48, AMKDJ, Config{Shards: shards}, join.Options{Refiner: refine, Parallelism: 8})
+		if err != nil {
+			t.Fatalf("s=%d: %v", shards, err)
+		}
+		sameResults(t, fmt.Sprintf("refined/s=%d", shards), got, want)
+	}
+}
+
+// TestShardSelfJoinIdentity: sharding a self-join must reproduce the
+// serial self-join exactly, including cross-shard pairs that the
+// workers see in reversed orientation.
+func TestShardSelfJoinIdentity(t *testing.T) {
+	items := datagen.GridStraddle(13, 420, 3, datagen.World, 3000)
+	tree := buildTree(t, items)
+	refine := func(_, _ int64, l, r geom.Rect) float64 { return l.CenterDist(r) }
+	for _, ref := range []func(int64, int64, geom.Rect, geom.Rect) float64{nil, refine} {
+		want, err := join.AMKDJ(tree, tree, 56, join.Options{SelfJoin: true, Refiner: ref})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 4, 9} {
+			for _, par := range []int{1, 8} {
+				got, err := KDJ(tree, tree, 56, AMKDJ, Config{Shards: shards},
+					join.Options{SelfJoin: true, Refiner: ref, Parallelism: par})
+				if err != nil {
+					t.Fatalf("s=%d par=%d: %v", shards, par, err)
+				}
+				sameResults(t, fmt.Sprintf("self/s=%d/par=%d/refined=%v", shards, par, ref != nil), got, want)
+			}
+		}
+	}
+}
+
+// TestShardEDmaxSeedIdentity: a caller-supplied EDmax (under- or
+// over-estimate) seeds the inner AM-KDJ runs; compensation must keep
+// the sharded result exact either way.
+func TestShardEDmaxSeedIdentity(t *testing.T) {
+	left := datagen.Uniform(17, 400, datagen.World, 4000)
+	right := datagen.Uniform(18, 300, datagen.World, 4000)
+	lt, rt := buildTree(t, left), buildTree(t, right)
+	want, err := join.AMKDJ(lt, rt, 40, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kth := want[len(want)-1].Dist
+	for _, seed := range []float64{kth * 0.25, kth * 4} {
+		got, err := KDJ(lt, rt, 40, AMKDJ, Config{Shards: 4}, join.Options{EDmax: seed, Parallelism: 8})
+		if err != nil {
+			t.Fatalf("seed=%g: %v", seed, err)
+		}
+		sameResults(t, fmt.Sprintf("edmax=%g", seed), got, want)
+	}
+}
+
+// TestShardSmallK exercises k larger than the candidate pair count:
+// the cutoff never becomes finite, nothing is pruned, and the full
+// pair set comes back in canonical order.
+func TestShardSmallK(t *testing.T) {
+	left := datagen.Uniform(19, 12, datagen.World, 1000)
+	right := datagen.Uniform(20, 9, datagen.World, 1000)
+	lt, rt := buildTree(t, left), buildTree(t, right)
+	want, err := join.AMKDJ(lt, rt, 500, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := KDJ(lt, rt, 500, AMKDJ, Config{Shards: 9}, join.Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "small", got, want)
+}
+
+// TestShardPruningSkips: with tight far-apart clusters and a small k,
+// distant partition pairs must actually be pruned — and the result
+// must stay exact despite the skips.
+func TestShardPruningSkips(t *testing.T) {
+	left := datagen.GaussianClusters(21, 400, 3, datagen.World, 8000, 500)
+	right := datagen.GaussianClusters(21, 300, 3, datagen.World, 8000, 500)
+	lt, rt := buildTree(t, left), buildTree(t, right)
+	want, err := join.AMKDJ(lt, rt, 8, join.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(0)
+	got, err := KDJ(lt, rt, 8, AMKDJ, Config{Shards: 16}, join.Options{Parallelism: 1, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "pruned", got, want)
+	if skips := tr.CountKind(trace.KindShardSkip); skips == 0 {
+		t.Fatalf("expected partition pairs to be pruned, got 0 shard_skip events (%d shard_run)",
+			tr.CountKind(trace.KindShardRun))
+	}
+	if tr.CountKind(trace.KindCutoffBroadcast) == 0 {
+		t.Fatal("expected at least one cutoff_broadcast event")
+	}
+}
+
+// TestShardTraceAndRegistry checks the observability threading: plan /
+// run / skip accounting is consistent, per-shard dist-calc attribution
+// lands in the run events, metrics reflect the merged result count,
+// and the registry sees the query end.
+func TestShardTraceAndRegistry(t *testing.T) {
+	left := datagen.Uniform(23, 300, datagen.World, 4000)
+	right := datagen.Uniform(24, 250, datagen.World, 4000)
+	lt, rt := buildTree(t, left), buildTree(t, right)
+	tr := trace.New(0)
+	reg := obsrv.NewRegistry()
+	mc := &metrics.Collector{}
+	got, err := KDJ(lt, rt, 32, AMKDJ, Config{Shards: 4},
+		join.Options{Parallelism: 2, Trace: tr, Registry: reg, Metrics: mc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 32 {
+		t.Fatalf("got %d results, want 32", len(got))
+	}
+	if n := tr.CountKind(trace.KindShardPlan); n != 1 {
+		t.Fatalf("shard_plan events = %d, want 1", n)
+	}
+	evs := tr.Events()
+	var planned, runs, skips int64
+	var attributed int64
+	for _, ev := range evs {
+		switch ev.Kind {
+		case trace.KindShardPlan:
+			planned = ev.Count
+		case trace.KindShardRun:
+			runs++
+			attributed += ev.Count
+		case trace.KindShardSkip:
+			skips++
+		}
+	}
+	if runs+skips != planned {
+		t.Fatalf("run (%d) + skip (%d) events != planned tasks (%d)", runs, skips, planned)
+	}
+	if attributed == 0 {
+		t.Fatal("shard_run events carry no dist-calc attribution")
+	}
+	if mc.ResultsProduced != int64(len(got)) {
+		t.Fatalf("ResultsProduced = %d, want %d", mc.ResultsProduced, len(got))
+	}
+	if mc.DistCalcs() == 0 {
+		t.Fatal("merged collector has no distance calculations")
+	}
+	if mc.WallTime <= 0 {
+		t.Fatal("merged collector has no wall time")
+	}
+	if n := reg.InFlight(); n != 0 {
+		t.Fatalf("registry left %d queries in flight", n)
+	}
+}
+
+// TestShardCancellation: a cancelled context surfaces as the context
+// error and leaves no query in flight.
+func TestShardCancellation(t *testing.T) {
+	left := datagen.Uniform(27, 300, datagen.World, 4000)
+	lt := buildTree(t, left)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reg := obsrv.NewRegistry()
+	_, err := KDJ(lt, lt, 16, AMKDJ, Config{Shards: 4},
+		join.Options{SelfJoin: true, Parallelism: 4, Context: ctx, Registry: reg})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := reg.InFlight(); n != 0 {
+		t.Fatalf("registry left %d queries in flight after cancellation", n)
+	}
+}
+
+// TestShardFaultPropagation: an injected hybrid-queue fault inside one
+// inner join must abort the whole sharded run with the fault surfaced.
+func TestShardFaultPropagation(t *testing.T) {
+	left := datagen.Uniform(29, 500, datagen.World, 5000)
+	right := datagen.Uniform(30, 400, datagen.World, 5000)
+	lt, rt := buildTree(t, left), buildTree(t, right)
+	boom := fmt.Errorf("shard fault: %w", storage.ErrInjected)
+	hook := func(hybridq.FaultOp) error { return boom }
+	tr := trace.New(0)
+	_, err := KDJ(lt, rt, 256, AMKDJ, Config{Shards: 4},
+		join.Options{Parallelism: 4, QueueMemBytes: 512, QueueFaultHook: hook, Trace: tr})
+	if err == nil {
+		t.Skip("queue never spilled; scenario too small to trip the hook")
+	}
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("err = %v, want wrapped storage.ErrInjected", err)
+	}
+	if tr.CountKind(trace.KindError) == 0 {
+		t.Fatal("aborted run emitted no error trace event")
+	}
+}
+
+// TestShardInvalidInput covers the argument guard rails.
+func TestShardInvalidInput(t *testing.T) {
+	left := datagen.Uniform(31, 20, datagen.World, 1000)
+	lt := buildTree(t, left)
+	if _, err := KDJ(nil, lt, 4, AMKDJ, Config{}, join.Options{}); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+	if _, err := KDJ(lt, lt, 0, AMKDJ, Config{}, join.Options{}); err == nil {
+		t.Fatal("k = 0 accepted")
+	}
+}
+
+// TestConfigGrid pins the Shards -> grid mapping documented on Config.
+func TestConfigGrid(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 1, 4: 2, 5: 2, 9: 3, 16: 4}
+	for shards, g := range cases {
+		if got := (Config{Shards: shards}).grid(); got != g {
+			t.Errorf("grid(%d) = %d, want %d", shards, got, g)
+		}
+	}
+}
+
+// TestResolveWorkers pins the Parallelism resolution mirror.
+func TestResolveWorkers(t *testing.T) {
+	if got := resolveWorkers(0); got != 1 {
+		t.Errorf("resolveWorkers(0) = %d, want 1", got)
+	}
+	if got := resolveWorkers(7); got != 7 {
+		t.Errorf("resolveWorkers(7) = %d, want 7", got)
+	}
+	if got := resolveWorkers(1000); got != join.MaxParallelism {
+		t.Errorf("resolveWorkers(1000) = %d, want %d", got, join.MaxParallelism)
+	}
+	if got := resolveWorkers(join.AutoParallelism); got < 1 || got > join.MaxParallelism {
+		t.Errorf("resolveWorkers(auto) = %d out of range", got)
+	}
+}
+
+// TestBoardOrderInvariance: the k-bounded canonical heap's final
+// content must not depend on merge order — the heart of the
+// determinism contract.
+func TestBoardOrderInvariance(t *testing.T) {
+	mk := func(d float64, l, r int64) join.Result {
+		return join.Result{Dist: d, LeftObj: l, RightObj: r}
+	}
+	all := []join.Result{
+		mk(5, 1, 2), mk(3, 2, 3), mk(3, 1, 9), mk(8, 4, 4), mk(1, 7, 7),
+		mk(3, 1, 4), mk(9, 0, 1), mk(2, 5, 5), mk(5, 0, 9), mk(7, 3, 3),
+	}
+	ref := newBoard(4)
+	ref.merge(all)
+	want := ref.final()
+	perms := [][]int{
+		{9, 8, 7, 6, 5, 4, 3, 2, 1, 0},
+		{4, 0, 8, 2, 6, 1, 9, 3, 7, 5},
+	}
+	for pi, p := range perms {
+		b := newBoard(4)
+		for _, i := range p {
+			b.merge([]join.Result{all[i]})
+		}
+		sameResults(t, fmt.Sprintf("perm %d", pi), b.final(), want)
+	}
+	if got := ref.bound(); got != want[len(want)-1].Dist { //lint:allow floatcmp bound equals the kept k-th distance exactly
+		t.Fatalf("bound = %g, want %g", got, want[len(want)-1].Dist)
+	}
+	under := newBoard(4)
+	under.merge(all[:2])
+	if !math.IsInf(under.bound(), 1) {
+		t.Fatalf("bound with < k results = %g, want +Inf", under.bound())
+	}
+}

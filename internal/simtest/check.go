@@ -8,6 +8,7 @@ import (
 	"distjoin/internal/join"
 	"distjoin/internal/obsrv"
 	"distjoin/internal/rtree"
+	"distjoin/internal/shard"
 	"distjoin/internal/storage"
 )
 
@@ -47,6 +48,28 @@ func Check(s Scenario) error {
 			}
 			if err := e.compareExact("parallelism", fmt.Sprintf("%s(par=%d)", name, par), got); err != nil {
 				return err
+			}
+		}
+	}
+
+	// Cross-shard-count identity: the sharded executor's determinism
+	// contract says neither the shard count nor the worker count can
+	// change the emitted pairs — every (shards, parallelism) cell must
+	// be byte-identical to the oracle.
+	for _, name := range []string{"AM-KDJ", "B-KDJ"} {
+		algo := shard.AMKDJ
+		if name == "B-KDJ" {
+			algo = shard.BKDJ
+		}
+		for _, shards := range []int{1, 4, 9} {
+			for _, par := range []int{1, 8} {
+				got, err := e.runShard(algo, shards, e.options(par, nil, nil, reg))
+				if err != nil {
+					return failf(s, nil, "shard-identity/"+name, "s=%d par=%d unexpected error: %v", shards, par, err)
+				}
+				if err := e.compareExact("shard-identity", fmt.Sprintf("%s(s=%d,par=%d)", name, shards, par), got); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -9,13 +9,17 @@ import (
 	"distjoin/internal/join"
 	"distjoin/internal/obsrv"
 	"distjoin/internal/rtree"
+	"distjoin/internal/shard"
 	"distjoin/internal/storage"
 )
 
 // Algorithms lists every algorithm the harness drives, in run order.
 // The first entry is the paper's baseline; §4.1's equivalence claim is
-// that all of them emit exactly the same k closest pairs.
-var Algorithms = []string{"HS-KDJ", "B-KDJ", "AM-KDJ", "SJ-SORT", "HS-IDJ", "AM-IDJ"}
+// that all of them emit exactly the same k closest pairs. The "/sN"
+// suffixed entries are the partition-parallel sharded executor over N
+// shards (internal/shard), which inherits the full differential and
+// fault battery through this list.
+var Algorithms = []string{"HS-KDJ", "B-KDJ", "AM-KDJ", "SJ-SORT", "HS-IDJ", "AM-IDJ", "AM-KDJ/s4", "B-KDJ/s9"}
 
 // env is one materialized scenario: the data, the packed trees, and
 // the brute-force reference.
@@ -201,9 +205,21 @@ func (e *env) runAlgo(name string, opts join.Options, limit int) ([]join.Result,
 		}
 		defer func() { it.Close(); it.Close() }()
 		return drainIter(it.Next, it.Err, limit)
+	case "AM-KDJ/s4":
+		return e.runShard(shard.AMKDJ, 4, opts)
+	case "B-KDJ/s9":
+		return e.runShard(shard.BKDJ, 9, opts)
 	default:
 		return nil, fmt.Errorf("simtest: unknown algorithm %q", name)
 	}
+}
+
+// runShard executes the partition-parallel executor over the
+// scenario's trees, reusing the scenario's index knobs for the
+// per-shard trees.
+func (e *env) runShard(algo shard.Algo, shards int, opts join.Options) ([]join.Result, error) {
+	cfg := shard.Config{Shards: shards, PageSize: e.s.PageSize, BufBytes: e.s.BufBytes}
+	return shard.KDJ(e.lt, e.rt, e.s.K, algo, cfg, opts)
 }
 
 // drainIter pulls up to limit results from an incremental iterator and

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"distjoin/internal/hybridq"
@@ -173,8 +174,14 @@ func (fe *faultEnv) run(algo string, sched *FaultSchedule) ([]join.Result, fault
 			qf.Arm(sched.Point)
 		}
 	}
+	// The sharded executor drives concurrent inner joins through this
+	// hook (the serial engines only ever call it from the coordinating
+	// goroutine), so the counters need the mutex.
+	var hookMu sync.Mutex
 	var spills, reloads int
 	hook := func(op hybridq.FaultOp) error {
+		hookMu.Lock()
+		defer hookMu.Unlock()
 		n, target := &spills, TargetSpill
 		if op == hybridq.FaultReload {
 			n, target = &reloads, TargetReload

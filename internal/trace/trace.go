@@ -34,6 +34,7 @@ package trace
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"sync"
 )
 
@@ -74,6 +75,26 @@ const (
 	// run is distinguishable from one that legitimately produced few
 	// results.
 	KindError Kind = "error"
+	// KindShardPlan records the sharded scheduler's plan: Count is the
+	// number of partition-pair tasks, LeftLevel / RightLevel the number
+	// of non-empty left / right shards.
+	KindShardPlan Kind = "shard_plan"
+	// KindShardRun records one partition pair joined: LeftLevel /
+	// RightLevel are the shard ordinals, Dist the pair's MBR-to-MBR
+	// mindist, EDmax the global cutoff observed when the task started,
+	// and Count the distance calculations the inner join performed
+	// (per-shard dist-calc attribution).
+	KindShardRun Kind = "shard_run"
+	// KindShardSkip records one partition pair pruned by the
+	// bounds-only test: LeftLevel / RightLevel are the shard ordinals,
+	// Dist the pair's MBR-to-MBR mindist, EDmax the cutoff that proved
+	// the pair cannot contribute (Dist > EDmax).
+	KindShardSkip Kind = "shard_skip"
+	// KindCutoffBroadcast records the shared global cutoff tightening
+	// after a task's results merged: EDmax is the new k-th distance
+	// upper bound, Count the broadcast sequence number (total number
+	// of tightenings so far).
+	KindCutoffBroadcast Kind = "cutoff_broadcast"
 )
 
 // Event is one structured trace record. Numeric fields are reused
@@ -108,6 +129,24 @@ type Event struct {
 	Segments int `json:"segments,omitempty"`
 	// Err is the error message for KindError events.
 	Err string `json:"error,omitempty"`
+}
+
+// MarshalJSON renders the event with non-finite EDmax/Dist values
+// omitted (JSON has no Inf literal, and encoding/json errors on one,
+// which would make WriteJSON fail on any trace recorded before the
+// engine's cutoff left its +Inf starting value). An infinite cutoff
+// means "no cutoff established yet", which the absent field already
+// expresses via omitempty.
+func (e Event) MarshalJSON() ([]byte, error) {
+	type plain Event // drops the method, avoiding marshal recursion
+	p := plain(e)
+	if math.IsInf(p.EDmax, 0) || math.IsNaN(p.EDmax) {
+		p.EDmax = 0
+	}
+	if math.IsInf(p.Dist, 0) || math.IsNaN(p.Dist) {
+		p.Dist = 0
+	}
+	return json.Marshal(p)
 }
 
 // DefaultCapacity is the ring-buffer size used when New is given a

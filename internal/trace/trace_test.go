@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"testing"
 )
 
@@ -150,5 +151,41 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	// Zero-valued fields must be omitted from the wire form.
 	if bytes.Contains(buf.Bytes(), []byte(`"edmax": 0`)) {
 		t.Error("zero edmax not omitted from JSON")
+	}
+}
+
+// A cutoff that has not tightened yet is +Inf (e.g. B-KDJ's starting
+// qDmax, or a sharded task launched before k results exist), and
+// encoding/json rejects infinities — WriteJSON must render such events
+// with the field absent instead of failing the whole dump.
+func TestWriteJSONNonFiniteEDmax(t *testing.T) {
+	tr := New(8)
+	tr.Emit(Event{Kind: KindShardRun, Algo: "AM-KDJ", EDmax: math.Inf(1), Dist: 1.5, Count: 3})
+	tr.Emit(Event{Kind: KindEDmaxUpdate, Algo: "B-KDJ", EDmax: 2.5, Dist: math.Inf(1)})
+	tr.Emit(Event{Kind: KindExpansion, Algo: "AM-KDJ", EDmax: math.NaN()})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON with +Inf/NaN fields: %v", err)
+	}
+	var dump struct {
+		Events []map[string]any `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("output invalid JSON: %v", err)
+	}
+	if n := len(dump.Events); n != 3 {
+		t.Fatalf("got %d events, want 3", n)
+	}
+	if _, ok := dump.Events[0]["edmax"]; ok {
+		t.Errorf("infinite edmax should be omitted, got %v", dump.Events[0]["edmax"])
+	}
+	if got := dump.Events[0]["dist"]; got != 1.5 {
+		t.Errorf("finite dist dropped: got %v, want 1.5", got)
+	}
+	if got := dump.Events[1]["edmax"]; got != 2.5 {
+		t.Errorf("finite edmax dropped: got %v, want 2.5", got)
+	}
+	if _, ok := dump.Events[1]["dist"]; ok {
+		t.Errorf("infinite dist should be omitted, got %v", dump.Events[1]["dist"])
 	}
 }
