@@ -16,7 +16,7 @@ STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 ACTIONLINT_VERSION ?= v1.7.7
 
-.PHONY: all build vet lint lint-tools test test-short race cover cover-check sim-smoke sim-soak fuzz fuzz-smoke bench bench-json bench-diff bench-baseline experiments examples ci clean
+.PHONY: all build vet lint lint-tools test test-short race cover cover-check sim-smoke sim-soak fuzz fuzz-smoke bench bench-json bench-diff bench-baseline experiments examples serve-smoke ci clean
 
 # Coverage floor for the cover-check gate: the suite sits above 80%,
 # so the floor guards against untested subsystems landing, with a
@@ -177,9 +177,30 @@ examples:
 	$(GO) run ./examples/analytics -customers 5000
 	$(GO) run ./examples/serving -duration 3s
 
+# Query-server smoke test (docs/serving.md): bring up a demo
+# distjoin-server on an ephemeral port, drive it with mixed traffic
+# from distjoin-load -quick, then SIGTERM it and require both a clean
+# load run (no hard errors) and a clean graceful exit (drain, code 0).
+serve-smoke:
+	$(GO) build -o bin/distjoin-server ./cmd/distjoin-server
+	$(GO) build -o bin/distjoin-load ./cmd/distjoin-load
+	@rm -f bin/serve-addr.txt; \
+	bin/distjoin-server -addr 127.0.0.1:0 -demo 4000 -addr-file bin/serve-addr.txt & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do [ -s bin/serve-addr.txt ] && break; sleep 0.1; done; \
+	if [ ! -s bin/serve-addr.txt ]; then \
+		echo "serve-smoke: server never bound" >&2; kill $$pid 2>/dev/null; exit 1; \
+	fi; \
+	addr="$$(cat bin/serve-addr.txt)"; \
+	load=0; bin/distjoin-load -addr "$$addr" -quick || load=$$?; \
+	kill -TERM $$pid; \
+	srv=0; wait $$pid || srv=$$?; \
+	echo "serve-smoke: load exit $$load, server exit $$srv"; \
+	[ "$$load" -eq 0 ] && [ "$$srv" -eq 0 ]
+
 # Everything the CI workflow (.github/workflows/ci.yml) runs, locally:
 # lint gate, build, tests with coverage + floor gate, race detector,
-# simulation smoke, fuzz smoke, bench regression gate.
+# simulation smoke, fuzz smoke, server smoke, bench regression gate.
 ci: lint build
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
@@ -187,6 +208,7 @@ ci: lint build
 	$(GO) test -race -short ./...
 	$(MAKE) sim-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) bench-diff
 
 clean:

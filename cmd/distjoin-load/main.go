@@ -1,0 +1,308 @@
+// Command distjoin-load drives a running distjoin-server with
+// concurrent clients issuing mixed traffic — blocking k-distance
+// joins, within-distance joins, and paginated incremental joins — and
+// reports per-family latency percentiles plus the server's shed-load
+// behaviour (429/503 counts).
+//
+//	distjoin-server -addr 127.0.0.1:0 -demo 5000 -addr-file /tmp/a &
+//	distjoin-load -addr "$(cat /tmp/a)" -clients 8 -duration 10s
+//
+// -quick selects a small preset suitable for CI smoke tests. With
+// -bench-json the latency percentiles are written as a benchrec
+// record: the "serve/..." series is absent from counter baselines and
+// all entries are marked parallel, so benchdiff treats it as
+// informational, never gating.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"distjoin/internal/benchrec"
+)
+
+// opKind indexes the traffic families.
+type opKind int
+
+const (
+	opKDist opKind = iota
+	opWithin
+	opIncremental
+	numOps
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opKDist:
+		return "kdist"
+	case opWithin:
+		return "within"
+	case opIncremental:
+		return "incremental"
+	}
+	return "unknown"
+}
+
+// tally accumulates one client's observations; merged after the run so
+// the hot path takes no shared lock.
+type tally struct {
+	latencies [numOps][]time.Duration
+	shed      int64 // 429/503: the server pushing back, not a failure
+	errors    []string
+}
+
+func (t *tally) fail(format string, args ...any) {
+	if len(t.errors) < 8 {
+		t.errors = append(t.errors, fmt.Sprintf(format, args...))
+	} else {
+		t.errors = append(t.errors[:8], "...")
+	}
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "server address, host:port (required)")
+		clients  = flag.Int("clients", 2*runtime.GOMAXPROCS(0), "concurrent client goroutines")
+		duration = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		left     = flag.String("left", "left", "left dataset name")
+		right    = flag.String("right", "right", "right dataset name")
+		k        = flag.Int("k", 100, "k for k-distance queries")
+		maxDist  = flag.Float64("max-dist", 5000, "distance for within queries")
+		limit    = flag.Int("limit", 1000, "result cap for within queries")
+		page     = flag.Int("page", 64, "incremental page size")
+		pages    = flag.Int("pages", 3, "pages pulled per incremental query")
+		quick    = flag.Bool("quick", false, "CI smoke preset: 4 clients, 2s, small queries")
+		outJSON  = flag.String("bench-json", "", "write latency percentiles as a benchrec record to this file")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "distjoin-load: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *quick {
+		*clients, *duration, *k, *limit, *pages = 4, 2*time.Second, 20, 100, 2
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Fail fast when the server isn't there.
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "distjoin-load: server not reachable: %v\n", err)
+		os.Exit(1)
+	}
+	drain(resp.Body)
+
+	stop := time.Now().Add(*duration)
+	tallies := make([]tally, *clients)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			t := &tallies[c]
+			for i := 0; time.Now().Before(stop); i++ {
+				op := opKind((c + i) % int(numOps))
+				start := time.Now()
+				ok := runOp(client, base, op, opParams{
+					left: *left, right: *right, k: *k,
+					maxDist: *maxDist, limit: *limit,
+					page: *page, pages: *pages,
+				}, t)
+				if ok {
+					t.latencies[op] = append(t.latencies[op], time.Since(start))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Merge and report.
+	var (
+		merged [numOps][]time.Duration
+		shed   int64
+		errs   []string
+	)
+	for i := range tallies {
+		for op := opKind(0); op < numOps; op++ {
+			merged[op] = append(merged[op], tallies[i].latencies[op]...)
+		}
+		shed += tallies[i].shed
+		errs = append(errs, tallies[i].errors...)
+	}
+
+	fmt.Printf("distjoin-load: %d clients for %v against %s\n", *clients, *duration, base)
+	var entries []benchrec.Entry
+	total := 0
+	for op := opKind(0); op < numOps; op++ {
+		ls := merged[op]
+		total += len(ls)
+		if len(ls) == 0 {
+			fmt.Printf("  %-12s no completed queries\n", op)
+			continue
+		}
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		p50, p90, p99 := percentile(ls, 50), percentile(ls, 90), percentile(ls, 99)
+		fmt.Printf("  %-12s n=%-6d p50=%-10v p90=%-10v p99=%v\n", op, len(ls), p50, p90, p99)
+		for _, p := range []struct {
+			name string
+			v    time.Duration
+		}{{"p50", p50}, {"p90", p90}, {"p99", p99}} {
+			entries = append(entries, benchrec.Entry{
+				Name:        fmt.Sprintf("serve/%s/%s", op, p.name),
+				Algo:        "serve",
+				K:           *k,
+				Parallelism: *clients, // parallel: latency never gates
+				WallSeconds: p.v.Seconds(),
+				Results:     int64(len(ls)),
+			})
+		}
+	}
+	fmt.Printf("  completed=%d shed(429/503)=%d errors=%d\n", total, shed, len(errs))
+	for _, e := range errs {
+		fmt.Printf("  error: %s\n", e)
+	}
+
+	if *outJSON != "" {
+		rec := &benchrec.Record{
+			Schema:    benchrec.SchemaVersion,
+			CreatedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			Scale:     float64(*clients),
+			Entries:   entries,
+		}
+		if err := benchrec.WriteFile(*outJSON, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "distjoin-load: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s\n", *outJSON)
+	}
+
+	if len(errs) > 0 || total == 0 {
+		os.Exit(1)
+	}
+}
+
+type opParams struct {
+	left, right string
+	k, limit    int
+	maxDist     float64
+	page, pages int
+}
+
+// runOp issues one query of the given family, returning whether it
+// completed (shed and failed queries don't count toward latency).
+func runOp(client *http.Client, base string, op opKind, p opParams, t *tally) bool {
+	switch op {
+	case opKDist:
+		return postOK(client, base+"/v1/join/k", map[string]any{
+			"left": p.left, "right": p.right, "k": p.k,
+		}, nil, t)
+	case opWithin:
+		return postOK(client, base+"/v1/join/within", map[string]any{
+			"left": p.left, "right": p.right, "max_dist": p.maxDist, "limit": p.limit,
+		}, nil, t)
+	case opIncremental:
+		var open struct {
+			Cursor string `json:"cursor"`
+			Done   bool   `json:"done"`
+		}
+		if !postOK(client, base+"/v1/join/incremental", map[string]any{
+			"left": p.left, "right": p.right, "page_size": p.page,
+		}, &open, t) {
+			return false
+		}
+		if open.Done || open.Cursor == "" {
+			return true
+		}
+		for i := 1; i < p.pages; i++ {
+			var next struct {
+				Done bool `json:"done"`
+			}
+			if !postOK(client, base+"/v1/join/incremental/next", map[string]any{
+				"cursor": open.Cursor, "page_size": p.page,
+			}, &next, t) {
+				return false
+			}
+			if next.Done {
+				return true
+			}
+		}
+		return postOK(client, base+"/v1/join/incremental/close", map[string]any{
+			"cursor": open.Cursor,
+		}, nil, t)
+	}
+	return false
+}
+
+// postOK posts a JSON body and decodes a 200 response into out (when
+// non-nil). Non-200 statuses are never ignored: shed responses
+// (429/503) are counted, anything else is recorded as an error with
+// the server's message.
+func postOK(client *http.Client, url string, body any, out any, t *tally) bool {
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.fail("marshal: %v", err)
+		return false
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.fail("POST %s: %v", url, err)
+		return false
+	}
+	defer drain(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		t.shed++
+		return false
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		t.fail("POST %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(msg))
+		return false
+	}
+	if out == nil {
+		return true
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.fail("POST %s: decode: %v", url, err)
+		return false
+	}
+	return true
+}
+
+// percentile returns the pth percentile of sorted latencies
+// (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (p*len(sorted) + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}
+
+// drain fully reads and closes a response body so the client can
+// reuse the connection.
+func drain(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, body)
+	_ = body.Close()
+}

@@ -1,0 +1,186 @@
+// Command distjoin-server serves distance-join queries over HTTP: it
+// bulk-loads one or more datasets into R-tree indexes and exposes the
+// /v1 query API of internal/serving — k-distance joins, k closest
+// pairs, within-distance joins, and paginated incremental joins —
+// plus the observability surface (/metrics, /queries, /healthz,
+// /debug/...) on one listener.
+//
+// Serve two dataset files:
+//
+//	distjoin-server -addr :8600 -data left=a.djds -data right=b.csv
+//
+// Or bring up a demo server over synthetic data:
+//
+//	distjoin-server -addr 127.0.0.1:0 -demo 5000 -addr-file /tmp/addr
+//
+// The server drains gracefully on SIGINT/SIGTERM: new queries are
+// rejected with 503, queries already admitted run to completion
+// (bounded by -drain), then the process exits 0. See docs/serving.md
+// for the wire schema and cmd/distjoin-load for a load generator.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"distjoin"
+	"distjoin/internal/datagen"
+	"distjoin/internal/obsrv"
+	"distjoin/internal/rtree"
+	"distjoin/internal/serving"
+)
+
+// dataList collects repeated -data name=path flags.
+type dataList []struct{ name, path string }
+
+func (d *dataList) String() string {
+	parts := make([]string, len(*d))
+	for i, e := range *d {
+		parts[i] = e.name + "=" + e.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (d *dataList) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*d = append(*d, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8600", "listen address (use \":0\" for an ephemeral port)")
+		addrFile    = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts driving -addr :0)")
+		demo        = flag.Int("demo", 0, "instead of -data files, serve synthetic datasets \"left\" and \"right\" with this many objects each")
+		seed        = flag.Int64("seed", 42, "seed for -demo data")
+		maxInFlight = flag.Int("max-inflight", 0, "queries executing concurrently (0 = GOMAXPROCS)")
+		maxQueued   = flag.Int("max-queued", 0, "queries waiting for a slot before 429s (0 = 2x max-inflight)")
+		defDeadline = flag.Duration("default-deadline", 0, "per-query deadline when the request sets none (0 = 30s)")
+		maxDeadline = flag.Duration("max-deadline", 0, "clamp on client-requested deadlines (0 = 2m)")
+		defQueueMem = flag.Int("default-queue-mem", 0, "per-query main-queue memory budget in bytes (0 = engine default)")
+		maxQueueMem = flag.Int("max-queue-mem", 0, "clamp on client-requested queue memory (0 = 8 MiB)")
+		maxK        = flag.Int("max-k", 0, "largest accepted k (0 = 100000)")
+		maxCursors  = flag.Int("max-cursors", 0, "open incremental cursors allowed at once (0 = 64)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before in-flight work is aborted")
+	)
+	var data dataList
+	flag.Var(&data, "data", "dataset to serve as name=path (repeatable; .djds binary or .csv)")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("distjoin-server: ")
+
+	if len(data) == 0 && *demo <= 0 {
+		fmt.Fprintln(os.Stderr, "distjoin-server: no datasets: pass -data name=path (repeatable) or -demo n")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reg := distjoin.NewRegistry()
+	srv := serving.New(serving.Config{
+		MaxInFlight:          *maxInFlight,
+		MaxQueued:            *maxQueued,
+		DefaultDeadline:      *defDeadline,
+		MaxDeadline:          *maxDeadline,
+		DefaultQueueMemBytes: *defQueueMem,
+		MaxQueueMemBytes:     *maxQueueMem,
+		MaxK:                 *maxK,
+		MaxCursors:           *maxCursors,
+		Registry:             reg,
+	})
+
+	for _, e := range data {
+		idx, err := loadIndex(e.path)
+		check(err)
+		check(srv.AddIndex(e.name, idx))
+		log.Printf("loaded %q: %d objects from %s", e.name, idx.Len(), e.path)
+	}
+	if *demo > 0 {
+		check(addDemo(srv, "left", datagen.Uniform(*seed, *demo, datagen.World, 0)))
+		check(addDemo(srv, "right", datagen.GaussianClusters(*seed+1, *demo, 8, datagen.World, 500, 0)))
+		log.Printf("demo datasets \"left\" and \"right\": %d objects each (seed %d)", *demo, *seed)
+	}
+
+	httpSrv, err := obsrv.ServeHandler(*addr, srv.Handler())
+	check(err)
+	if *addrFile != "" {
+		check(os.WriteFile(*addrFile, []byte(httpSrv.Addr()+"\n"), 0o644))
+	}
+	log.Printf("serving on http://%s (drain budget %v)", httpSrv.Addr(), *drain)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("%v: draining...", got)
+
+	// Drain order: the query scheduler first (rejects new queries,
+	// waits for admitted ones), then the HTTP server (flushes in-flight
+	// response bodies). Either step exceeding the budget escalates to a
+	// hard stop so the process always exits.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain budget exceeded (%v); aborting in-flight queries", err)
+		srv.Close()
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		check(httpSrv.Close())
+	}
+	log.Printf("stopped")
+}
+
+// addDemo registers synthetic items under name.
+func addDemo(srv *serving.Server, name string, items []rtree.Item) error {
+	idx, err := distjoin.NewIndex(toObjects(items), nil)
+	if err != nil {
+		return err
+	}
+	return srv.AddIndex(name, idx)
+}
+
+// loadIndex reads a dataset in either on-disk format (binary .djds or
+// .csv, by extension) and bulk-loads it.
+func loadIndex(path string) (*distjoin.Index, error) {
+	var (
+		items []rtree.Item
+		err   error
+	)
+	if strings.HasSuffix(path, ".csv") {
+		var f *os.File
+		if f, err = os.Open(path); err != nil {
+			return nil, err
+		}
+		items, err = datagen.ReadCSV(f)
+		f.Close()
+	} else {
+		items, err = datagen.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return distjoin.NewIndex(toObjects(items), nil)
+}
+
+func toObjects(items []rtree.Item) []distjoin.Object {
+	objs := make([]distjoin.Object, len(items))
+	for i, it := range items {
+		objs[i] = distjoin.Object{ID: it.Obj, Rect: it.Rect}
+	}
+	return objs
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "distjoin-server: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -158,8 +158,9 @@ type ObservabilityServer = obsrv.Server
 
 // ServeObservability starts an HTTP server on addr (e.g. ":9090", or
 // "127.0.0.1:0" for an ephemeral port — read it back with Addr())
-// serving ObservabilityHandler(reg). Close the returned server to
-// shut it down.
+// serving ObservabilityHandler(reg). Stop it with Shutdown (graceful:
+// in-flight scrapes and queries finish before it returns) or Close
+// (hard stop, dropping in-flight responses).
 func ServeObservability(addr string, reg *Registry) (*ObservabilityServer, error) {
 	return obsrv.Serve(addr, reg)
 }
@@ -281,8 +282,13 @@ type Options struct {
 	// Parallelism-sized worker pool with bounds-only pruning against a
 	// shared global cutoff. Results are byte-identical to the
 	// single-tree engine at any shard and worker count (see
-	// docs/sharding.md). Zero disables sharding (default); the other
-	// algorithms and the ancillary joins ignore this field.
+	// docs/sharding.md). Zero disables sharding (default). Paths with
+	// no sharded executor do not silently fall back: KDistanceJoin /
+	// KClosestPairs with HSKDJ or SJSort and IncrementalJoin return a
+	// configuration error when Shards > 0. The ancillary joins
+	// (WithinJoin, AllNearest, KNNJoin) ignore the field, documented
+	// here: they stream unranked or per-object results where
+	// partition-parallel ranking does not apply.
 	Shards int
 }
 
@@ -458,6 +464,18 @@ func requireIndexes(op string, idxs ...*Index) error {
 	return nil
 }
 
+// rejectShards returns the configuration error for join paths that
+// have no sharded executor. Options.Shards used to be silently
+// ignored on these paths — a misconfiguration mask: the caller asked
+// for partition-parallel execution and quietly got the single-tree
+// engine instead.
+func rejectShards(algo string, opts *Options) error {
+	if opts != nil && opts.Shards > 0 {
+		return fmt.Errorf("distjoin: Options.Shards is not supported with %s (sharded execution requires AMKDJ or BKDJ via KDistanceJoin/KClosestPairs); clear Shards or switch algorithms", algo)
+	}
+	return nil
+}
+
 // KDistanceJoin returns the k nearest (left, right) object pairs in
 // nondecreasing distance order. Both indexes must be non-nil and k
 // must be positive.
@@ -491,8 +509,14 @@ func KDistanceJoin(left, right *Index, k int, opts *Options) ([]Pair, error) {
 		}
 		results, err = join.BKDJ(left.tree, right.tree, k, jo)
 	case HSKDJ:
+		if err := rejectShards("HSKDJ", opts); err != nil {
+			return nil, err
+		}
 		results, err = join.HSKDJ(left.tree, right.tree, k, jo)
 	case SJSort:
+		if err := rejectShards("SJSort", opts); err != nil {
+			return nil, err
+		}
 		if opts == nil || opts.MaxDist <= 0 {
 			return nil, fmt.Errorf("distjoin: SJSort requires Options.MaxDist > 0")
 		}
@@ -540,6 +564,9 @@ func (it *Iterator) Close() { it.close() }
 // the HS-IDJ baseline.
 func IncrementalJoin(left, right *Index, opts *Options) (*Iterator, error) {
 	if err := requireIndexes("IncrementalJoin", left, right); err != nil {
+		return nil, err
+	}
+	if err := rejectShards("IncrementalJoin", opts); err != nil {
 		return nil, err
 	}
 	jo := opts.joinOptions()
@@ -650,6 +677,10 @@ func AllNearest(left, right *Index, opts *Options, fn func(Pair) bool) error {
 // right in nondecreasing distance order — one callback per left
 // object, whose pairs all share the same LeftID. Returning false stops
 // early. The right index must be non-empty unless left is empty.
+//
+// Each callback receives a freshly allocated slice: the callback may
+// retain it (e.g. append it to a per-object result map) without it
+// being overwritten by a later left object's neighbors.
 func KNNJoin(left, right *Index, k int, opts *Options, fn func(neighbors []Pair) bool) error {
 	if fn == nil {
 		return fmt.Errorf("distjoin: KNNJoin requires a callback")
@@ -660,12 +691,13 @@ func KNNJoin(left, right *Index, k int, opts *Options, fn func(neighbors []Pair)
 	if k <= 0 {
 		return fmt.Errorf("distjoin: KNNJoin requires k > 0, got %d", k)
 	}
-	buf := make([]Pair, 0, k)
 	return join.AllKNearest(left.tree, right.tree, k, opts.joinOptions(), func(ns []join.Result) bool {
-		buf = buf[:0]
-		for _, n := range ns {
-			buf = append(buf, convertResult(n))
+		// A fresh slice per callback: reusing one buffer across
+		// callbacks silently corrupted any retained neighbor lists.
+		neighbors := make([]Pair, len(ns))
+		for i, n := range ns {
+			neighbors[i] = convertResult(n)
 		}
-		return fn(buf)
+		return fn(neighbors)
 	})
 }

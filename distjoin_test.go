@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -622,8 +623,121 @@ func TestShardedJoinIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 	samePairs("self/s=4", gotSelf, wantSelf)
-	// Algorithms outside {AMKDJ, BKDJ} ignore Shards rather than fail.
-	if _, err := KDistanceJoin(left, right, 50, &Options{Algorithm: HSKDJ, Shards: 4}); err != nil {
-		t.Fatalf("HSKDJ with Shards set: %v", err)
+}
+
+// TestShardsMisconfiguration pins the Options.Shards fallback
+// contract: paths with no sharded executor reject Shards > 0 with a
+// clear configuration error instead of silently running the
+// single-tree engine, while the ancillary streaming joins ignore the
+// field (documented on Options.Shards).
+func TestShardsMisconfiguration(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randObjects(rng, 80, 500, 5)
+	b := randObjects(rng, 80, 500, 5)
+	left, _ := NewIndex(a, nil)
+	right, _ := NewIndex(b, nil)
+
+	wantErr := func(label string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s with Shards > 0: no error, want configuration error", label)
+		}
+		if !strings.Contains(err.Error(), "Shards") {
+			t.Fatalf("%s error %q does not name Options.Shards", label, err)
+		}
+	}
+
+	// KDistanceJoin: HSKDJ and SJSort have no sharded executor.
+	_, err := KDistanceJoin(left, right, 10, &Options{Algorithm: HSKDJ, Shards: 4})
+	wantErr("KDistanceJoin/HSKDJ", err)
+	_, err = KDistanceJoin(left, right, 10, &Options{Algorithm: SJSort, MaxDist: 100, Shards: 4})
+	wantErr("KDistanceJoin/SJSort", err)
+
+	// IncrementalJoin: no sharded executor for any algorithm.
+	_, err = IncrementalJoin(left, right, &Options{Shards: 4})
+	wantErr("IncrementalJoin/AMKDJ", err)
+	_, err = IncrementalJoin(left, right, &Options{Algorithm: HSKDJ, Shards: 4})
+	wantErr("IncrementalJoin/HSKDJ", err)
+
+	// KClosestPairs routes through KDistanceJoin, so the same rule
+	// applies to self-joins.
+	_, err = KClosestPairs(left, 10, &Options{Algorithm: HSKDJ, Shards: 4})
+	wantErr("KClosestPairs/HSKDJ", err)
+
+	// Eligible algorithms still shard, with and without self-join.
+	for _, algo := range []Algorithm{AMKDJ, BKDJ} {
+		if _, err := KDistanceJoin(left, right, 10, &Options{Algorithm: algo, Shards: 4}); err != nil {
+			t.Fatalf("KDistanceJoin/%v sharded: %v", algo, err)
+		}
+	}
+	if _, err := KClosestPairs(left, 10, &Options{Shards: 4}); err != nil {
+		t.Fatalf("KClosestPairs sharded: %v", err)
+	}
+
+	// Ancillary joins: Shards is documented as ignored — same results
+	// as the unsharded call, no error.
+	opts := &Options{Shards: 4}
+	var withShards, without []Pair
+	if err := WithinJoin(left, right, 50, opts, func(p Pair) bool { withShards = append(withShards, p); return true }); err != nil {
+		t.Fatalf("WithinJoin with Shards: %v", err)
+	}
+	if err := WithinJoin(left, right, 50, nil, func(p Pair) bool { without = append(without, p); return true }); err != nil {
+		t.Fatalf("WithinJoin: %v", err)
+	}
+	if len(withShards) != len(without) {
+		t.Fatalf("WithinJoin result drift with Shards set: %d vs %d", len(withShards), len(without))
+	}
+	if err := AllNearest(left, right, opts, func(Pair) bool { return true }); err != nil {
+		t.Fatalf("AllNearest with Shards: %v", err)
+	}
+	if err := KNNJoin(left, right, 2, opts, func([]Pair) bool { return true }); err != nil {
+		t.Fatalf("KNNJoin with Shards: %v", err)
+	}
+}
+
+// TestKNNJoinRetention is the callback-aliasing regression test: a
+// caller that retains each callback's neighbors slice must see every
+// left object's neighbors intact after the join — the original
+// implementation reused one buffer across callbacks, so every
+// retained slice was silently overwritten by the last left object.
+func TestKNNJoinRetention(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	a := randObjects(rng, 50, 300, 5)
+	b := randObjects(rng, 70, 300, 5)
+	left, _ := NewIndex(a, nil)
+	right, _ := NewIndex(b, nil)
+	const k = 3
+
+	// Retain the slices exactly as delivered — no copying.
+	retained := map[int64][]Pair{}
+	if err := KNNJoin(left, right, k, nil, func(ns []Pair) bool {
+		if len(ns) > 0 {
+			retained[ns[0].LeftID] = ns
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(retained) != len(a) {
+		t.Fatalf("retained %d of %d objects", len(retained), len(a))
+	}
+	for _, x := range a {
+		ns := retained[x.ID]
+		if len(ns) != k {
+			t.Fatalf("object %d: retained %d neighbors, want %d", x.ID, len(ns), k)
+		}
+		var ds []float64
+		for _, y := range b {
+			ds = append(ds, x.Rect.MinDist(y.Rect))
+		}
+		sort.Float64s(ds)
+		for i, n := range ns {
+			if n.LeftID != x.ID {
+				t.Fatalf("object %d: retained slice overwritten — neighbor %d has LeftID %d", x.ID, i, n.LeftID)
+			}
+			if math.Abs(n.Dist-ds[i]) > 1e-9 {
+				t.Fatalf("object %d: retained neighbor %d dist %g, want %g", x.ID, i, n.Dist, ds[i])
+			}
+		}
 	}
 }

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -65,7 +66,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
+	// Graceful exit: drain any in-flight scrape before the process
+	// goes away, escalating to a hard Close only if the drain window
+	// expires.
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+	}()
 	fmt.Printf("observability on http://%s/ for %v\n", srv.Addr(), *duration)
 
 	// Background workload: blocking joins across algorithms plus an
@@ -89,6 +99,11 @@ func main() {
 			}
 			for j := 0; j < 500; j++ {
 				if _, ok := it.Next(); !ok {
+					// A false Next means exhausted *or* failed —
+					// always distinguish via Err.
+					if err := it.Err(); err != nil {
+						log.Printf("incremental: %v", err)
+					}
 					break
 				}
 			}
@@ -99,7 +114,11 @@ func main() {
 	// Self-scrape a few times so the example shows the surfaces.
 	for time.Now().Before(stop) {
 		time.Sleep(*duration / 4)
-		metrics := scrape(srv.Addr(), "/metrics")
+		metrics, err := scrape(srv.Addr(), "/metrics")
+		if err != nil {
+			log.Printf("scrape /metrics: %v", err)
+			continue
+		}
 		for _, line := range strings.Split(metrics, "\n") {
 			if strings.HasPrefix(line, "distjoin_queries_total") ||
 				strings.HasPrefix(line, "distjoin_inflight_queries ") {
@@ -108,18 +127,29 @@ func main() {
 		}
 		fmt.Println("---")
 	}
-	fmt.Println("done; final /queries:", scrape(srv.Addr(), "/queries"))
+	queries, err := scrape(srv.Addr(), "/queries")
+	if err != nil {
+		log.Printf("scrape /queries: %v", err)
+		return
+	}
+	fmt.Println("done; final /queries:", queries)
 }
 
-func scrape(addr, path string) string {
+// scrape fetches one observability endpoint. Non-200 statuses are
+// errors: an overloaded or misrouted endpoint must be surfaced, not
+// silently pasted into the output as if it were a healthy body.
+func scrape(addr, path string) (string, error) {
 	resp, err := http.Get("http://" + addr + path)
 	if err != nil {
-		return err.Error()
+		return "", err
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err.Error()
+		return "", fmt.Errorf("GET %s: %w", path, err)
 	}
-	return string(b)
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(b)))
+	}
+	return string(b), nil
 }

@@ -1,6 +1,7 @@
 package obsrv
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -118,12 +119,22 @@ type Server struct {
 // "127.0.0.1:0") serving Handler(reg). It returns once the listener
 // is bound; the accept loop runs in a background goroutine.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeHandler(addr, Handler(reg))
+}
+
+// ServeHandler starts an HTTP server on addr serving h — the
+// lifecycle half of Serve, reusable for handlers beyond the
+// observability mux (the query-serving API embeds it this way). It
+// returns once the listener is bound; the accept loop runs in a
+// background goroutine. Stop the server with Shutdown (graceful) or
+// Close (hard stop).
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obsrv: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{
-		Handler:           Handler(reg),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() { _ = srv.Serve(ln) }()
@@ -133,6 +144,21 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// Shutdown gracefully stops the server: the listener closes
+// immediately (no new connections), but responses already in flight —
+// an in-progress /metrics scrape, a query request on an embedding
+// server — run to completion before Shutdown returns. If ctx expires
+// first, Shutdown returns ctx's error with connections still open;
+// pair it with Close as the hard-stop escalation:
+//
+//	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+//	defer cancel()
+//	if err := srv.Shutdown(sctx); err != nil {
+//	    srv.Close()
+//	}
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
 // Close immediately shuts the server down, closing the listener and
-// any active connections.
+// any active connections — in-flight responses are dropped
+// mid-stream. Prefer Shutdown for orderly process exit.
 func (s *Server) Close() error { return s.srv.Close() }

@@ -1,7 +1,9 @@
 package obsrv
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -103,6 +105,95 @@ func TestServe(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestShutdownDrainsInFlight is the graceful-stop contract: a response
+// already being written when Shutdown is called must complete — the
+// bug this guards against was ServeObservability consumers calling
+// Close on exit and chopping in-flight scrapes mid-body.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	s, err := ServeHandler("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		<-release
+		fmt.Fprint(w, "drained-ok")
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+	<-inHandler
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(context.Background()) }()
+
+	// Shutdown must wait for the in-flight response, not race past it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a response was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+
+	if r := <-got; r.err != nil || r.body != "drained-ok" {
+		t.Fatalf("in-flight response: body %q err %v, want full body", r.body, r.err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// Post-shutdown connections must be refused.
+	if _, err := http.Get("http://" + s.Addr() + "/"); err == nil {
+		t.Fatal("GET after Shutdown succeeded, want connection error")
+	}
+}
+
+// TestShutdownDeadline: an expired drain context surfaces its error so
+// callers can escalate to Close.
+func TestShutdownDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	inHandler := make(chan struct{})
+	s, err := ServeHandler("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		<-release
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-inHandler
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown with a stuck handler and expired context returned nil, want deadline error")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close escalation: %v", err)
 	}
 }
 

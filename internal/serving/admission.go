@@ -1,0 +1,56 @@
+package serving
+
+import "context"
+
+// gate is the admission controller: a fixed pool of execution slots
+// plus a bounded count of waiters. Acquire first tries for a free
+// slot; failing that it joins the wait queue unless the queue is
+// already full, in which case the request is rejected immediately —
+// load the server cannot absorb is pushed back to the client as a 429
+// instead of accumulating as unbounded goroutines.
+type gate struct {
+	slots   chan struct{} // buffered; one token per executing query
+	waiting chan struct{} // buffered; one token per queued waiter
+}
+
+func newGate(inFlight, queued int) *gate {
+	return &gate{
+		slots:   make(chan struct{}, inFlight),
+		waiting: make(chan struct{}, queued),
+	}
+}
+
+// acquire obtains an execution slot, waiting in the bounded queue if
+// none is free. It returns errQueueFull when the queue is saturated,
+// or ctx's error if the deadline expires while waiting.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	// No free slot: take a waiter token or reject. The token channel
+	// makes the bound exact — at most cap(waiting) goroutines block on
+	// the slot send below.
+	select {
+	case g.waiting <- struct{}{}:
+	default:
+		return errQueueFull
+	}
+	defer func() { <-g.waiting }()
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an execution slot.
+func (g *gate) release() { <-g.slots }
+
+// inFlight reports how many queries currently hold slots.
+func (g *gate) inFlight() int { return len(g.slots) }
+
+// queued reports how many requests are waiting for a slot.
+func (g *gate) queued() int { return len(g.waiting) }

@@ -1,0 +1,123 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGateBounds: slot and waiter capacities are exact.
+func TestGateBounds(t *testing.T) {
+	g := newGate(2, 1)
+	ctx := context.Background()
+	if err := g.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if g.inFlight() != 2 {
+		t.Fatalf("inFlight = %d, want 2", g.inFlight())
+	}
+
+	// One waiter fits in the queue.
+	waited := make(chan error, 1)
+	go func() { waited <- g.acquire(ctx) }()
+	deadline := time.Now().Add(time.Second)
+	for g.queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queue is full: the next acquire is rejected, not blocked.
+	if err := g.acquire(ctx); !errors.Is(err, errQueueFull) {
+		t.Fatalf("acquire on full queue = %v, want errQueueFull", err)
+	}
+
+	// Releasing a slot admits the waiter.
+	g.release()
+	if err := <-waited; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	g.release()
+	g.release()
+	if g.inFlight() != 0 || g.queued() != 0 {
+		t.Fatalf("after release: inFlight=%d queued=%d, want 0/0", g.inFlight(), g.queued())
+	}
+}
+
+// TestGateContextCancel: a queued waiter unblocks with the context's
+// error and frees its queue token.
+func TestGateContextCancel(t *testing.T) {
+	g := newGate(1, 2)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	waited := make(chan error, 1)
+	go func() { waited <- g.acquire(ctx) }()
+	deadline := time.Now().Add(time.Second)
+	for g.queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-waited; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+	if g.queued() != 0 {
+		t.Fatalf("queue token leaked: queued = %d", g.queued())
+	}
+	g.release()
+}
+
+// TestGateStress: heavy concurrent acquire/release never exceeds the
+// slot bound and never deadlocks (run with -race).
+func TestGateStress(t *testing.T) {
+	const slots = 3
+	g := newGate(slots, 8)
+	var (
+		mu      sync.Mutex
+		cur, mx int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < 50; i++ {
+				if err := g.acquire(ctx); err != nil {
+					if !errors.Is(err, errQueueFull) {
+						t.Errorf("acquire: %v", err)
+						return
+					}
+					continue
+				}
+				mu.Lock()
+				cur++
+				if cur > mx {
+					mx = cur
+				}
+				mu.Unlock()
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				g.release()
+			}
+		}()
+	}
+	wg.Wait()
+	if mx > slots {
+		t.Fatalf("observed %d concurrent holders, bound is %d", mx, slots)
+	}
+	if g.inFlight() != 0 || g.queued() != 0 {
+		t.Fatalf("tokens leaked: inFlight=%d queued=%d", g.inFlight(), g.queued())
+	}
+}

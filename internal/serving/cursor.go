@@ -1,0 +1,176 @@
+package serving
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"distjoin"
+)
+
+// cursor is one open incremental join: a live engine iterator plus
+// the bookkeeping that lets pages resume where the previous page
+// stopped. The cursor's deadline covers its whole lifetime — open
+// through last page — enforced both here (expired cursors refuse
+// pages and are swept) and inside the engine (the iterator's
+// Options.Context carries the same deadline, so a pull in progress
+// when the deadline passes aborts at the next cancellation poll).
+type cursor struct {
+	id       string
+	deadline time.Time
+	cancel   func() // cancels the iterator's context
+
+	mu       sync.Mutex // serializes page pulls on one cursor
+	it       *distjoin.Iterator
+	returned int64
+	done     bool
+	closed   bool
+}
+
+// next pulls up to n pairs, returning the cursor's running total of
+// returned pairs alongside. done reports exhaustion; after an engine
+// error the cursor is closed and the error returned.
+func (c *cursor) next(n int) (pairs []distjoin.Pair, done bool, returned int64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, true, c.returned, fmt.Errorf("serving: cursor %s is closed", c.id)
+	}
+	if c.done {
+		return nil, true, c.returned, nil
+	}
+	for len(pairs) < n {
+		p, ok := c.it.Next()
+		if !ok {
+			c.done = true
+			err := c.it.Err()
+			c.returned += int64(len(pairs))
+			c.closeLocked()
+			return pairs, true, c.returned, err
+		}
+		pairs = append(pairs, p)
+	}
+	c.returned += int64(len(pairs))
+	return pairs, false, c.returned, nil
+}
+
+// closeLocked releases the iterator and its context; callers hold
+// c.mu.
+func (c *cursor) closeLocked() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.it.Close()
+	c.cancel()
+}
+
+func (c *cursor) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closeLocked()
+}
+
+// cursorTable tracks open cursors by ID, bounding how many exist and
+// sweeping expired ones. Cursors are a budgeted resource exactly like
+// execution slots: each holds an engine iterator with up to a full
+// queue-memory budget until closed.
+type cursorTable struct {
+	mu   sync.Mutex
+	byID map[string]*cursor
+	max  int
+}
+
+func newCursorTable(max int) *cursorTable {
+	return &cursorTable{byID: make(map[string]*cursor), max: max}
+}
+
+// newID returns a 24-hex-character random cursor ID.
+func newID() (string, error) {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("serving: cursor id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// add registers a cursor, first sweeping any expired ones. It fails
+// with errQueueFull when the table is at capacity even after the
+// sweep.
+func (t *cursorTable) add(c *cursor, now time.Time) error {
+	t.mu.Lock()
+	expired := t.sweepLocked(now)
+	if len(t.byID) >= t.max {
+		t.mu.Unlock()
+		closeCursors(expired)
+		return fmt.Errorf("%w: %d incremental cursors open", errQueueFull, t.max)
+	}
+	t.byID[c.id] = c
+	t.mu.Unlock()
+	closeCursors(expired)
+	return nil
+}
+
+// get resolves a cursor ID; expired cursors are treated as missing
+// (and swept), so a client using a stale cursor sees "unknown
+// cursor", matching what it would see moments later anyway.
+func (t *cursorTable) get(id string, now time.Time) (*cursor, bool) {
+	t.mu.Lock()
+	expired := t.sweepLocked(now)
+	c, ok := t.byID[id]
+	t.mu.Unlock()
+	closeCursors(expired)
+	return c, ok
+}
+
+// remove unregisters (but does not close) a cursor.
+func (t *cursorTable) remove(id string) (*cursor, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.byID[id]
+	if ok {
+		delete(t.byID, id)
+	}
+	return c, ok
+}
+
+// sweepLocked removes expired cursors from the table, returning them
+// for the caller to close outside the table lock (closing finalizes
+// registry accounting; no I/O belongs under the map mutex).
+func (t *cursorTable) sweepLocked(now time.Time) []*cursor {
+	var expired []*cursor
+	for id, c := range t.byID {
+		if now.After(c.deadline) {
+			delete(t.byID, id)
+			expired = append(expired, c)
+		}
+	}
+	return expired
+}
+
+// open reports how many cursors are registered.
+func (t *cursorTable) open() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byID)
+}
+
+// closeAll closes and drops every cursor (shutdown path).
+func (t *cursorTable) closeAll() {
+	t.mu.Lock()
+	all := make([]*cursor, 0, len(t.byID))
+	for id, c := range t.byID {
+		delete(t.byID, id)
+		all = append(all, c)
+	}
+	t.mu.Unlock()
+	closeCursors(all)
+}
+
+func closeCursors(cs []*cursor) {
+	for _, c := range cs {
+		c.close()
+	}
+}
