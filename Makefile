@@ -178,25 +178,31 @@ examples:
 	$(GO) run ./examples/serving -duration 3s
 
 # Query-server smoke test (docs/serving.md): bring up a demo
-# distjoin-server on an ephemeral port, drive it with mixed traffic
-# from distjoin-load -quick, then SIGTERM it and require both a clean
-# load run (no hard errors) and a clean graceful exit (drain, code 0).
+# distjoin-server on an ephemeral port with a 1ms slow-query threshold
+# (so real queries land in the slow log), drive it with mixed traffic
+# from distjoin-load -quick plus an ?explain=1 roundtrip check, then
+# SIGTERM it and require a clean load run, a clean graceful exit
+# (drain, code 0), and at least one parseable structured request-log
+# line on the server's stderr (kept at bin/serve-log.jsonl; the CI
+# serve job uploads it as an artifact).
 serve-smoke:
 	$(GO) build -o bin/distjoin-server ./cmd/distjoin-server
 	$(GO) build -o bin/distjoin-load ./cmd/distjoin-load
-	@rm -f bin/serve-addr.txt; \
-	bin/distjoin-server -addr 127.0.0.1:0 -demo 4000 -addr-file bin/serve-addr.txt & \
+	@rm -f bin/serve-addr.txt bin/serve-log.jsonl; \
+	bin/distjoin-server -addr 127.0.0.1:0 -demo 4000 -addr-file bin/serve-addr.txt \
+		-slow-query 1ms 2> bin/serve-log.jsonl & \
 	pid=$$!; \
 	for i in $$(seq 1 50); do [ -s bin/serve-addr.txt ] && break; sleep 0.1; done; \
 	if [ ! -s bin/serve-addr.txt ]; then \
 		echo "serve-smoke: server never bound" >&2; kill $$pid 2>/dev/null; exit 1; \
 	fi; \
 	addr="$$(cat bin/serve-addr.txt)"; \
-	load=0; bin/distjoin-load -addr "$$addr" -quick || load=$$?; \
+	load=0; bin/distjoin-load -addr "$$addr" -quick -check-explain || load=$$?; \
 	kill -TERM $$pid; \
 	srv=0; wait $$pid || srv=$$?; \
 	echo "serve-smoke: load exit $$load, server exit $$srv"; \
-	[ "$$load" -eq 0 ] && [ "$$srv" -eq 0 ]
+	[ "$$load" -eq 0 ] && [ "$$srv" -eq 0 ]; \
+	bin/distjoin-load -validate-log bin/serve-log.jsonl
 
 # Everything the CI workflow (.github/workflows/ci.yml) runs, locally:
 # lint gate, build, tests with coverage + floor gate, race detector,

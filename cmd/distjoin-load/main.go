@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -24,6 +25,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -53,9 +55,13 @@ func (k opKind) String() string {
 }
 
 // tally accumulates one client's observations; merged after the run so
-// the hot path takes no shared lock.
+// the hot path takes no shared lock. Client-observed latency and
+// server-measured admission wait (the X-Distjoin-Admission-Wait
+// response header) are tracked separately: the first includes network
+// and serialization, the second isolates queueing inside the server.
 type tally struct {
 	latencies [numOps][]time.Duration
+	waits     [numOps][]time.Duration
 	shed      int64 // 429/503: the server pushing back, not a failure
 	errors    []string
 }
@@ -82,8 +88,18 @@ func main() {
 		pages    = flag.Int("pages", 3, "pages pulled per incremental query")
 		quick    = flag.Bool("quick", false, "CI smoke preset: 4 clients, 2s, small queries")
 		outJSON  = flag.String("bench-json", "", "write latency percentiles as a benchrec record to this file")
+		explain  = flag.Bool("check-explain", false, "after the run, issue one ?explain=1 query and validate the embedded trace timeline")
+		valLog   = flag.String("validate-log", "", "validate a server request-log file (one parseable \"request\" line with the documented keys) and exit; no load is generated")
 	)
 	flag.Parse()
+	if *valLog != "" {
+		if err := validateRequestLog(*valLog); err != nil {
+			fmt.Fprintf(os.Stderr, "distjoin-load: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("distjoin-load: %s: structured request log ok\n", *valLog)
+		return
+	}
 	if *addr == "" {
 		fmt.Fprintln(os.Stderr, "distjoin-load: -addr is required")
 		flag.Usage()
@@ -115,13 +131,15 @@ func main() {
 			for i := 0; time.Now().Before(stop); i++ {
 				op := opKind((c + i) % int(numOps))
 				start := time.Now()
+				var wait time.Duration
 				ok := runOp(client, base, op, opParams{
 					left: *left, right: *right, k: *k,
 					maxDist: *maxDist, limit: *limit,
 					page: *page, pages: *pages,
-				}, t)
+				}, t, &wait)
 				if ok {
 					t.latencies[op] = append(t.latencies[op], time.Since(start))
+					t.waits[op] = append(t.waits[op], wait)
 				}
 			}
 		}(c)
@@ -130,13 +148,15 @@ func main() {
 
 	// Merge and report.
 	var (
-		merged [numOps][]time.Duration
-		shed   int64
-		errs   []string
+		merged      [numOps][]time.Duration
+		mergedWaits [numOps][]time.Duration
+		shed        int64
+		errs        []string
 	)
 	for i := range tallies {
 		for op := opKind(0); op < numOps; op++ {
 			merged[op] = append(merged[op], tallies[i].latencies[op]...)
+			mergedWaits[op] = append(mergedWaits[op], tallies[i].waits[op]...)
 		}
 		shed += tallies[i].shed
 		errs = append(errs, tallies[i].errors...)
@@ -168,10 +188,38 @@ func main() {
 				Results:     int64(len(ls)),
 			})
 		}
+		// Server-measured admission wait, reported separately so
+		// queueing inside the server is distinguishable from network
+		// and execution time in the client-observed latency above.
+		ws := mergedWaits[op]
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		w50, w99 := percentile(ws, 50), percentile(ws, 99)
+		fmt.Printf("  %-12s admission-wait(server) p50=%-10v p99=%v\n", "", w50, w99)
+		for _, p := range []struct {
+			name string
+			v    time.Duration
+		}{{"wait_p50", w50}, {"wait_p99", w99}} {
+			entries = append(entries, benchrec.Entry{
+				Name:        fmt.Sprintf("serve/%s/%s", op, p.name),
+				Algo:        "serve",
+				K:           *k,
+				Parallelism: *clients,
+				WallSeconds: p.v.Seconds(),
+				Results:     int64(len(ws)),
+			})
+		}
 	}
 	fmt.Printf("  completed=%d shed(429/503)=%d errors=%d\n", total, shed, len(errs))
 	for _, e := range errs {
 		fmt.Printf("  error: %s\n", e)
+	}
+
+	if *explain {
+		if err := checkExplain(client, base, opParams{left: *left, right: *right, k: *k}); err != nil {
+			fmt.Fprintf(os.Stderr, "distjoin-load: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("  explain roundtrip ok")
 	}
 
 	if *outJSON != "" {
@@ -205,16 +253,18 @@ type opParams struct {
 
 // runOp issues one query of the given family, returning whether it
 // completed (shed and failed queries don't count toward latency).
-func runOp(client *http.Client, base string, op opKind, p opParams, t *tally) bool {
+// wait accumulates the server-reported admission wait across the op's
+// requests (an incremental op spans several).
+func runOp(client *http.Client, base string, op opKind, p opParams, t *tally, wait *time.Duration) bool {
 	switch op {
 	case opKDist:
 		return postOK(client, base+"/v1/join/k", map[string]any{
 			"left": p.left, "right": p.right, "k": p.k,
-		}, nil, t)
+		}, nil, t, wait)
 	case opWithin:
 		return postOK(client, base+"/v1/join/within", map[string]any{
 			"left": p.left, "right": p.right, "max_dist": p.maxDist, "limit": p.limit,
-		}, nil, t)
+		}, nil, t, wait)
 	case opIncremental:
 		var open struct {
 			Cursor string `json:"cursor"`
@@ -222,7 +272,7 @@ func runOp(client *http.Client, base string, op opKind, p opParams, t *tally) bo
 		}
 		if !postOK(client, base+"/v1/join/incremental", map[string]any{
 			"left": p.left, "right": p.right, "page_size": p.page,
-		}, &open, t) {
+		}, &open, t, wait) {
 			return false
 		}
 		if open.Done || open.Cursor == "" {
@@ -234,7 +284,7 @@ func runOp(client *http.Client, base string, op opKind, p opParams, t *tally) bo
 			}
 			if !postOK(client, base+"/v1/join/incremental/next", map[string]any{
 				"cursor": open.Cursor, "page_size": p.page,
-			}, &next, t) {
+			}, &next, t, wait) {
 				return false
 			}
 			if next.Done {
@@ -243,7 +293,7 @@ func runOp(client *http.Client, base string, op opKind, p opParams, t *tally) bo
 		}
 		return postOK(client, base+"/v1/join/incremental/close", map[string]any{
 			"cursor": open.Cursor,
-		}, nil, t)
+		}, nil, t, wait)
 	}
 	return false
 }
@@ -251,8 +301,10 @@ func runOp(client *http.Client, base string, op opKind, p opParams, t *tally) bo
 // postOK posts a JSON body and decodes a 200 response into out (when
 // non-nil). Non-200 statuses are never ignored: shed responses
 // (429/503) are counted, anything else is recorded as an error with
-// the server's message.
-func postOK(client *http.Client, url string, body any, out any, t *tally) bool {
+// the server's message. When wait is non-nil, the server's
+// X-Distjoin-Admission-Wait header (integer microseconds) is added to
+// it.
+func postOK(client *http.Client, url string, body any, out any, t *tally, wait *time.Duration) bool {
 	b, err := json.Marshal(body)
 	if err != nil {
 		t.fail("marshal: %v", err)
@@ -264,6 +316,11 @@ func postOK(client *http.Client, url string, body any, out any, t *tally) bool {
 		return false
 	}
 	defer drain(resp.Body)
+	if wait != nil {
+		if us, err := strconv.ParseInt(resp.Header.Get("X-Distjoin-Admission-Wait"), 10, 64); err == nil {
+			*wait += time.Duration(us) * time.Microsecond
+		}
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
@@ -282,6 +339,100 @@ func postOK(client *http.Client, url string, body any, out any, t *tally) bool {
 		return false
 	}
 	return true
+}
+
+// checkExplain does one ?explain=1 k-distance query and validates the
+// embedded trace timeline: events present, stage spans well-formed,
+// and the digest's dist-calc total equal to the stats block's (both
+// must read the same collector). Used by the CI smoke test.
+func checkExplain(client *http.Client, base string, p opParams) error {
+	b, _ := json.Marshal(map[string]any{"left": p.left, "right": p.right, "k": p.k})
+	resp, err := client.Post(base+"/v1/join/k?explain=1", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("explain query: status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	qid := resp.Header.Get("X-Distjoin-Query-Id")
+	if qid == "" {
+		return fmt.Errorf("explain query: no X-Distjoin-Query-Id header")
+	}
+	var out struct {
+		QueryID string `json:"query_id"`
+		Stats   struct {
+			DistCalcs int64 `json:"dist_calcs"`
+		} `json:"stats"`
+		Explain *struct {
+			Events  []json.RawMessage `json:"events"`
+			Summary struct {
+				Stages []struct {
+					Stage      string `json:"stage"`
+					DurationUS int64  `json:"duration_us"`
+				} `json:"stages"`
+				DistCalcs int64 `json:"dist_calcs"`
+			} `json:"summary"`
+		} `json:"explain"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("explain query: decode: %v", err)
+	}
+	if out.QueryID != qid {
+		return fmt.Errorf("explain query: body query_id %q != header %q", out.QueryID, qid)
+	}
+	if out.Explain == nil {
+		return fmt.Errorf("explain query: response has no explain block")
+	}
+	if len(out.Explain.Events) == 0 || len(out.Explain.Summary.Stages) == 0 {
+		return fmt.Errorf("explain query: empty timeline (events=%d stages=%d)",
+			len(out.Explain.Events), len(out.Explain.Summary.Stages))
+	}
+	if out.Explain.Summary.DistCalcs != out.Stats.DistCalcs {
+		return fmt.Errorf("explain dist_calcs %d != stats dist_calcs %d",
+			out.Explain.Summary.DistCalcs, out.Stats.DistCalcs)
+	}
+	return nil
+}
+
+// validateRequestLog asserts that path holds at least one structured
+// request-log line: parseable JSON with msg "request" and the keys the
+// serving layer documents (docs/observability.md). The CI smoke test
+// runs this against the demo server's stderr.
+func validateRequestLog(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue // startup noise from the plain logger is fine
+		}
+		if rec["msg"] != "request" {
+			continue
+		}
+		for _, key := range []string{
+			"query_id", "family", "status", "admission_wait_us",
+			"queue_depth_at_entry", "deadline_ms", "elapsed_ms",
+			"dist_calcs", "results", "slow",
+		} {
+			if _, ok := rec[key]; !ok {
+				return fmt.Errorf("%s: request log line missing key %q: %s", path, key, sc.Text())
+			}
+		}
+		return nil
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("%s: no parseable request log line among %d lines", path, lines)
 }
 
 // percentile returns the pth percentile of sorted latencies

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -72,6 +73,9 @@ func main() {
 		maxK        = flag.Int("max-k", 0, "largest accepted k (0 = 100000)")
 		maxCursors  = flag.Int("max-cursors", 0, "open incremental cursors allowed at once (0 = 64)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before in-flight work is aborted")
+		slowQuery   = flag.Duration("slow-query", 0, "slow-query threshold: requests strictly slower are logged at WARN and retained on /debug/slowlog (0 = 1s)")
+		slowLogCap  = flag.Int("slowlog-capacity", 0, "slow-query records retained for /debug/slowlog (0 = 128)")
+		requestLog  = flag.Bool("request-log", true, "emit one structured JSON log line per /v1 request on stderr")
 	)
 	var data dataList
 	flag.Var(&data, "data", "dataset to serve as name=path (repeatable; .djds binary or .csv)")
@@ -85,6 +89,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The request log is structured JSON on stderr, one line per /v1
+	// request, separate from the human-oriented startup/shutdown notes
+	// that go through the plain log package.
+	var reqLogger *slog.Logger
+	if *requestLog {
+		reqLogger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+
 	reg := distjoin.NewRegistry()
 	srv := serving.New(serving.Config{
 		MaxInFlight:          *maxInFlight,
@@ -96,6 +108,9 @@ func main() {
 		MaxK:                 *maxK,
 		MaxCursors:           *maxCursors,
 		Registry:             reg,
+		Logger:               reqLogger,
+		SlowQueryThreshold:   *slowQuery,
+		SlowLogCapacity:      *slowLogCap,
 	})
 
 	for _, e := range data {

@@ -98,6 +98,29 @@ type Tracer = trace.Tracer
 // TraceEvent is one structured event recorded by a Tracer.
 type TraceEvent = trace.Event
 
+// TraceKind classifies a TraceEvent; see the constants below and the
+// docs/observability.md event schema.
+type TraceKind = trace.Kind
+
+// Trace event kinds, re-exported so embedders (and the serving
+// layer's ?explain=1 digest) can interpret a recorded timeline
+// through the facade alone.
+const (
+	TraceKindExpansion       = trace.KindExpansion
+	TraceKindStageStart      = trace.KindStageStart
+	TraceKindStageEnd        = trace.KindStageEnd
+	TraceKindCompensation    = trace.KindCompensation
+	TraceKindEDmaxUpdate     = trace.KindEDmaxUpdate
+	TraceKindQueueSpill      = trace.KindQueueSpill
+	TraceKindQueueReload     = trace.KindQueueReload
+	TraceKindBarrier         = trace.KindBarrier
+	TraceKindError           = trace.KindError
+	TraceKindShardPlan       = trace.KindShardPlan
+	TraceKindShardRun        = trace.KindShardRun
+	TraceKindShardSkip       = trace.KindShardSkip
+	TraceKindCutoffBroadcast = trace.KindCutoffBroadcast
+)
+
 // DefaultTraceCapacity is the event capacity NewTracer uses when given
 // a non-positive value.
 const DefaultTraceCapacity = trace.DefaultCapacity
@@ -127,6 +150,18 @@ type Registry = obsrv.Registry
 
 // RegistrySnapshot is an immutable copy of a Registry's state.
 type RegistrySnapshot = obsrv.Snapshot
+
+// ServingMetrics aggregates HTTP serving-layer telemetry — per-family
+// request counts and latency histograms, the admission-wait
+// distribution, shed/drain/cursor counters, and point-in-time gauges —
+// into the registry's Prometheus surface as the distjoin_serving_*
+// families. Obtain one with Registry.Serving(); a nil *ServingMetrics
+// is a valid no-op sink.
+type ServingMetrics = obsrv.ServingMetrics
+
+// ServingGauges is the point-in-time serving state a gauge provider
+// hands to ServingMetrics.SetGauges.
+type ServingGauges = obsrv.ServingGauges
 
 // NewRegistry returns an empty observability registry.
 func NewRegistry() *Registry { return obsrv.NewRegistry() }
@@ -274,6 +309,13 @@ type Options struct {
 	// completion. A nil registry costs nothing. See NewRegistry,
 	// DefaultRegistry, and ServeObservability.
 	Registry *Registry
+	// QueryID, when non-empty, attaches a caller-minted request
+	// identity to the query's Registry entry, so the live /queries
+	// inspector row correlates with whatever the caller uses to track
+	// the request (the HTTP serving layer mints one per request and
+	// returns it as the X-Distjoin-Query-Id header). Ignored when
+	// Registry is nil.
+	QueryID string
 	// Shards, when positive, runs KDistanceJoin / KClosestPairs with
 	// AMKDJ or BKDJ through the partition-parallel sharded executor:
 	// both datasets are grid-partitioned into roughly Shards spatial
@@ -312,6 +354,7 @@ func (o *Options) joinOptions() join.Options {
 		Parallelism:   o.Parallelism,
 		Trace:         o.Trace,
 		Registry:      o.Registry,
+		QueryID:       o.QueryID,
 	}
 	if o.DisableSweepOptimization {
 		sp := join.FixedSweep

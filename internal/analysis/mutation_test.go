@@ -69,6 +69,13 @@ var mutations = []struct {
 		new:      `"distjoin_queries_renamed_total"`,
 	},
 	{
+		name:     "promdrift/rename-serving-family",
+		pkg:      "distjoin/internal/obsrv",
+		analyzer: "promdrift",
+		old:      `"distjoin_serving_requests_total"`,
+		new:      `"distjoin_serving_reqs_total"`,
+	},
+	{
 		name:     "ctxpoll/drop-drain-poll",
 		pkg:      "distjoin/internal/join",
 		analyzer: "ctxpoll",

@@ -59,6 +59,24 @@ var registryContract = map[string]string{
 	"distjoin_edmax_corrections_total":    "counter",
 	"distjoin_edmax_underestimates_total": "counter",
 	"distjoin_edmax_overestimates_total":  "counter",
+
+	// Serving-layer families (obsrv/serving.go), exported when an HTTP
+	// serving layer attaches a ServingMetrics to the registry.
+	"distjoin_serving_requests_total":          "counter",
+	"distjoin_serving_request_latency_seconds": "histogram",
+	"distjoin_serving_admission_wait_seconds":  "histogram",
+	"distjoin_serving_shed_total":              "counter",
+	"distjoin_serving_rejected_draining_total": "counter",
+	"distjoin_serving_deadline_exceeded_total": "counter",
+	"distjoin_serving_client_gone_total":       "counter",
+	"distjoin_serving_failed_total":            "counter",
+	"distjoin_serving_slow_queries_total":      "counter",
+	"distjoin_serving_cursors_opened_total":    "counter",
+	"distjoin_serving_cursors_expired_total":   "counter",
+	"distjoin_serving_inflight_queries":        "gauge",
+	"distjoin_serving_queued_requests":         "gauge",
+	"distjoin_serving_open_cursors":            "gauge",
+	"distjoin_serving_draining":                "gauge",
 }
 
 // derivedContract is the canonical set of derived per-query families

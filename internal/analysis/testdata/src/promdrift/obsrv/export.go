@@ -3,8 +3,8 @@
 // family, so both the unknown-name and the silent-removal checks fire.
 package obsrv // want "package obsrv no longer mentions contract family distjoin_edmax_overestimates_total"
 
-// families mirrors an exporter's literal name list: ten of the eleven
-// contract families (distjoin_edmax_overestimates_total is missing)
+// families mirrors an exporter's literal name list: every contract
+// family except one (distjoin_edmax_overestimates_total is missing)
 // plus one that the contract does not know.
 var families = []string{
 	"distjoin_registry_uptime_seconds",
@@ -17,6 +17,21 @@ var families = []string{
 	"distjoin_edmax_estimate_ratio",
 	"distjoin_edmax_corrections_total",
 	"distjoin_edmax_underestimates_total",
+	"distjoin_serving_requests_total",
+	"distjoin_serving_request_latency_seconds",
+	"distjoin_serving_admission_wait_seconds",
+	"distjoin_serving_shed_total",
+	"distjoin_serving_rejected_draining_total",
+	"distjoin_serving_deadline_exceeded_total",
+	"distjoin_serving_client_gone_total",
+	"distjoin_serving_failed_total",
+	"distjoin_serving_slow_queries_total",
+	"distjoin_serving_cursors_opened_total",
+	"distjoin_serving_cursors_expired_total",
+	"distjoin_serving_inflight_queries",
+	"distjoin_serving_queued_requests",
+	"distjoin_serving_open_cursors",
+	"distjoin_serving_draining",
 	"distjoin_bogus_total", // want "not in the canonical contract"
 }
 
@@ -26,4 +41,6 @@ var series = []string{
 	"distjoin_query_latency_seconds_bucket",
 	"distjoin_query_latency_seconds_sum",
 	"distjoin_query_latency_seconds_count",
+	"distjoin_serving_request_latency_seconds_bucket",
+	"distjoin_serving_admission_wait_seconds_sum",
 }

@@ -183,6 +183,11 @@ type Options struct {
 	// private collector is allocated so the registry still receives
 	// counters.
 	Registry *obsrv.Registry
+	// QueryID, when non-empty, names the query's Registry entry with a
+	// caller-minted request identity (the serving layer's per-request
+	// ID), so live-inspector rows correlate with response headers and
+	// request logs. Ignored when Registry is nil.
+	QueryID string
 }
 
 // AutoParallelism requests one expansion worker per available CPU
@@ -543,7 +548,7 @@ func (c *execContext) cancelled() error {
 // mc.Start's deferred Finish, so Finish runs first and the collector's
 // WallTime is populated when the registry folds it in.
 func (c *execContext) beginQuery(k int) {
-	c.rq = c.opts.Registry.Begin(c.algo, k)
+	c.rq = c.opts.Registry.BeginNamed(c.algo, k, c.opts.QueryID)
 }
 
 // endQuery completes the registry entry, folding in the final counters
@@ -555,8 +560,13 @@ func (c *execContext) endQuery(err error) {
 
 // recordEstimate reports one eDmax-estimator accuracy sample — the
 // estimated cutoff against the realized k-th distance — to the
-// registry. No-op without a registry.
+// registry, and remembers the correction mode on the query's collector
+// so completion telemetry can report which equation last steered the
+// cutoff. Both sinks are nil-safe no-ops, and mode is always one of
+// the engine's constant strings, so the disabled path stays
+// allocation-free.
 func (c *execContext) recordEstimate(estimated, actual float64, mode string) {
+	c.mc.SetEstimateMode(mode)
 	c.rq.RecordEstimate(estimated, actual, mode)
 }
 

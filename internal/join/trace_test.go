@@ -165,11 +165,11 @@ func kindHistogram(tr *trace.Tracer) map[trace.Kind]int {
 	return m
 }
 
-// TestTraceOffNoAllocs pins the zero-cost contract: with no tracer
-// installed, the emission helpers must not allocate (they are on the
-// per-expansion hot path).
+// TestTraceOffNoAllocs pins the zero-cost contract: with no tracer,
+// registry, or stats collector installed, the emission and telemetry
+// helpers must not allocate (they are on the per-expansion hot path).
 func TestTraceOffNoAllocs(t *testing.T) {
-	c := &execContext{algo: "AM-KDJ", stage: "aggressive"} // tr == nil
+	c := &execContext{algo: "AM-KDJ", stage: "aggressive"} // tr, mc, rq all nil
 	p := hybridq.Pair{Left: 3, Right: 4, Dist: 1.25}
 	var nilTr *trace.Tracer
 	allocs := testing.AllocsPerRun(200, func() {
@@ -180,9 +180,13 @@ func TestTraceOffNoAllocs(t *testing.T) {
 		_ = c.traceError(nil)
 		nilTr.Emit(trace.Event{Kind: trace.KindExpansion})
 		nilTr.EmitAll(nil)
+		// Registry-off query accounting: BeginNamed on a nil registry
+		// and estimate-mode recording on a nil collector are free.
+		c.beginQuery(100)
+		c.recordEstimate(1.5, 1.25, "arithmetic")
 	})
 	if allocs != 0 {
-		t.Fatalf("nil-tracer emission helpers allocate %v times per run, want 0", allocs)
+		t.Fatalf("disabled-telemetry helpers allocate %v times per run, want 0", allocs)
 	}
 }
 

@@ -113,6 +113,14 @@ type Collector struct {
 	// WallTime is the measured wall-clock time, set by Finish.
 	WallTime time.Duration
 
+	// lastEstimateMode is the most recent eDmax correction mode the
+	// adaptive engine applied ("initial", "arithmetic", "geometric",
+	// "override"); empty until the first estimate. Unexported on
+	// purpose: the reflection exporters require every exported field
+	// to be int64-kind, and the serving telemetry reads it through
+	// EstimateMode instead.
+	lastEstimateMode string
+
 	start time.Time
 }
 
@@ -255,6 +263,24 @@ func (c *Collector) AddResult(n int64) {
 	}
 }
 
+// SetEstimateMode records the eDmax correction mode of the latest
+// re-estimation. The argument is always one of the engine's constant
+// mode strings, so recording allocates nothing.
+func (c *Collector) SetEstimateMode(mode string) {
+	if c != nil {
+		c.lastEstimateMode = mode
+	}
+}
+
+// EstimateMode returns the most recent eDmax correction mode, or ""
+// when the query never re-estimated (nil-safe).
+func (c *Collector) EstimateMode() string {
+	if c == nil {
+		return ""
+	}
+	return c.lastEstimateMode
+}
+
 // AddCompensationStage records that a compensation stage began.
 func (c *Collector) AddCompensationStage() {
 	if c != nil {
@@ -318,6 +344,9 @@ func (c *Collector) Add(o *Collector) {
 	c.BufferEvictions += o.BufferEvictions
 	c.ModeledIOTime += o.ModeledIOTime
 	c.WallTime += o.WallTime
+	if o.lastEstimateMode != "" {
+		c.lastEstimateMode = o.lastEstimateMode
+	}
 }
 
 // String renders a one-line summary, convenient for logs.

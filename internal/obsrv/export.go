@@ -198,5 +198,8 @@ func writeProm(w io.Writer, s Snapshot) error {
 			p.sample("distjoin_edmax_overestimates_total", algoLabel(a.Algo), float64(a.Overestimates))
 		}
 	}
+	if s.Serving != nil {
+		writeServingProm(p, s.Serving)
+	}
 	return p.err
 }

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"distjoin/internal/metrics"
 	"distjoin/internal/trace"
@@ -365,6 +366,25 @@ func populatedRegistry() *Registry {
 	live := r.Begin("B-KDJ", 10)
 	live.SetStage("sweep")
 	live.SetQueueDepth(10, 5, 1)
+
+	// Serving-layer families, including a family label that needs
+	// escaping and a gauge provider so every distjoin_serving_* family
+	// gets samples.
+	sm := r.Serving()
+	sm.ObserveRequest("join/k", 5*time.Millisecond, 120*time.Microsecond)
+	sm.ObserveRequest("incremental/open", time.Millisecond, 0)
+	sm.ObserveRequest(`odd"family`+"\n", time.Second, time.Millisecond)
+	sm.IncShed()
+	sm.IncRejectedDraining()
+	sm.IncDeadlineExceeded()
+	sm.IncClientGone()
+	sm.IncFailed()
+	sm.IncSlowQuery()
+	sm.IncCursorOpened()
+	sm.IncCursorExpired()
+	sm.SetGauges(func() ServingGauges {
+		return ServingGauges{InFlight: 2, Queued: 1, OpenCursors: 3, Draining: true}
+	})
 	return r
 }
 
@@ -389,6 +409,22 @@ func TestPromExpositionLint(t *testing.T) {
 		"distjoin_edmax_overestimates_total":  "counter",
 		"distjoin_real_dist_calcs_total":      "counter", // a Collector family, via trace.PromFields
 		"distjoin_dist_calcs_total":           "counter", // a derived family
+
+		"distjoin_serving_requests_total":          "counter",
+		"distjoin_serving_request_latency_seconds": "histogram",
+		"distjoin_serving_admission_wait_seconds":  "histogram",
+		"distjoin_serving_shed_total":              "counter",
+		"distjoin_serving_rejected_draining_total": "counter",
+		"distjoin_serving_deadline_exceeded_total": "counter",
+		"distjoin_serving_client_gone_total":       "counter",
+		"distjoin_serving_failed_total":            "counter",
+		"distjoin_serving_slow_queries_total":      "counter",
+		"distjoin_serving_cursors_opened_total":    "counter",
+		"distjoin_serving_cursors_expired_total":   "counter",
+		"distjoin_serving_inflight_queries":        "gauge",
+		"distjoin_serving_queued_requests":         "gauge",
+		"distjoin_serving_open_cursors":            "gauge",
+		"distjoin_serving_draining":                "gauge",
 	}
 	got := map[string]string{}
 	for _, f := range fams {

@@ -65,6 +65,11 @@ type Registry struct {
 	active map[uint64]*Query
 	algos  map[string]*algoAgg
 	names  []string // sorted keys of algos, maintained on insert
+
+	// serving is the lazily created serving-layer telemetry, outside
+	// r.mu so its own lock ordering stays independent of the query
+	// aggregates.
+	serving atomic.Pointer[ServingMetrics]
 }
 
 // algoAgg is the per-algorithm aggregate: completed-query counts, the
@@ -137,10 +142,18 @@ func (r *Registry) agg(algo string) *algoAgg {
 // goroutine while HTTP handlers snapshot concurrently. A nil registry
 // returns a nil handle, whose methods all no-op.
 func (r *Registry) Begin(algo string, k int) *Query {
+	return r.BeginNamed(algo, k, "")
+}
+
+// BeginNamed is Begin with a caller-minted query ID (the serving
+// layer's per-request identity) attached to the live handle, so the
+// /queries inspector row, the response header, and the request log
+// all correlate. An empty queryID behaves exactly like Begin.
+func (r *Registry) BeginNamed(algo string, k int, queryID string) *Query {
 	if r == nil {
 		return nil
 	}
-	q := &Query{reg: r, algo: algo, k: k, started: time.Now()}
+	q := &Query{reg: r, algo: algo, k: k, queryID: queryID, started: time.Now()}
 	q.edmax.Store(math.Float64bits(math.NaN()))
 	r.mu.Lock()
 	r.nextID++
@@ -148,6 +161,23 @@ func (r *Registry) Begin(algo string, k int) *Query {
 	r.active[q.id] = q
 	r.mu.Unlock()
 	return q
+}
+
+// Serving returns the registry's serving-layer telemetry, creating it
+// on first use. A nil registry returns a nil *ServingMetrics, itself
+// a valid no-op sink.
+func (r *Registry) Serving() *ServingMetrics {
+	if r == nil {
+		return nil
+	}
+	if sm := r.serving.Load(); sm != nil {
+		return sm
+	}
+	sm := newServingMetrics()
+	if r.serving.CompareAndSwap(nil, sm) {
+		return sm
+	}
+	return r.serving.Load()
 }
 
 // Uptime returns how long the registry has existed.
@@ -195,6 +225,7 @@ type Query struct {
 	id      uint64
 	algo    string
 	k       int
+	queryID string // serving-layer request identity, "" for direct calls
 	started time.Time
 
 	stage    atomic.Pointer[string]
@@ -292,10 +323,14 @@ func (q *Query) End(mc *metrics.Collector, err error) {
 
 // QuerySnapshot is one in-flight query as rendered by /queries.
 type QuerySnapshot struct {
-	ID    uint64 `json:"id"`
-	Algo  string `json:"algo"`
-	K     int    `json:"k"`
-	Stage string `json:"stage,omitempty"`
+	ID uint64 `json:"id"`
+	// QueryID is the serving layer's request identity (the
+	// X-Distjoin-Query-Id response header), empty for queries run
+	// outside the HTTP server.
+	QueryID string `json:"query_id,omitempty"`
+	Algo    string `json:"algo"`
+	K       int    `json:"k"`
+	Stage   string `json:"stage,omitempty"`
 	// EDmax is nil until the query publishes a cutoff (and for
 	// algorithms that never estimate one); pointers keep NaN out of
 	// the JSON encoder.
@@ -328,6 +363,9 @@ type Snapshot struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	InFlight      []QuerySnapshot `json:"inflight"`
 	Algos         []AlgoSnapshot  `json:"algos"`
+	// Serving carries the HTTP serving layer's telemetry when one is
+	// attached (Registry.Serving was called), nil otherwise.
+	Serving *ServingSnapshot `json:"serving,omitempty"`
 }
 
 // Snapshot copies the registry's state. Safe on a nil registry
@@ -337,10 +375,19 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
+	// Serving telemetry snapshots outside r.mu: its gauge provider
+	// reads the HTTP server's own state and must never run under a
+	// registry lock.
+	var serving *ServingSnapshot
+	if sm := r.serving.Load(); sm != nil {
+		ss := sm.Snapshot()
+		serving = &ss
+	}
 	now := time.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
+		Serving:       serving,
 		UptimeSeconds: now.Sub(r.start).Seconds(),
 		InFlight:      make([]QuerySnapshot, 0, len(r.active)),
 		Algos:         make([]AlgoSnapshot, 0, len(r.names)),
@@ -348,6 +395,7 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, q := range r.active {
 		qs := QuerySnapshot{
 			ID:             q.id,
+			QueryID:        q.queryID,
 			Algo:           q.algo,
 			K:              q.k,
 			QueueMem:       q.queueMem.Load(),

@@ -1,0 +1,301 @@
+package obsrv
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ServingMetrics aggregates the HTTP serving layer's telemetry —
+// per-family request counts and latency distributions, the admission
+// queue's wait distribution, shed/drain/cursor counters, and
+// point-in-time gauges — into the same Prometheus surface the query
+// registry exports. The serving layer obtains one from
+// Registry.Serving and feeds it through the public facade, keeping
+// every distjoin_serving_* family literal inside this package where
+// the promdrift contract can see it.
+//
+// A nil *ServingMetrics is a valid no-op sink, the same discipline as
+// the Registry itself, so a server constructed without a registry
+// costs nothing. All methods are safe for concurrent use.
+type ServingMetrics struct {
+	mu       sync.Mutex
+	families map[string]*servingFamily
+	names    []string // sorted keys of families, maintained on insert
+
+	admissionWait *Histogram
+
+	shed             uint64
+	rejectedDraining uint64
+	deadlineExceeded uint64
+	clientGone       uint64
+	failed           uint64
+	slowQueries      uint64
+	cursorsOpened    uint64
+	cursorsExpired   uint64
+
+	// gauges is the serving layer's point-in-time state provider,
+	// installed with SetGauges. It is invoked with no obsrv lock held:
+	// the provider reads the server's own admission gate and lifecycle
+	// state, and holding a registry mutex across foreign locks is
+	// exactly what the lockheld analyzer forbids.
+	gauges atomic.Pointer[func() ServingGauges]
+}
+
+// servingFamily is one request family's aggregate.
+type servingFamily struct {
+	requests uint64
+	latency  *Histogram
+}
+
+// waitBuckets spans 1µs..~18m of admission wait with factor-4
+// resolution — queue waits are usually microseconds (uncontended
+// channel receive) but stretch to the full deadline under overload.
+var waitBuckets = ExpBuckets(1e-6, 4, 16)
+
+func newServingMetrics() *ServingMetrics {
+	return &ServingMetrics{
+		families:      make(map[string]*servingFamily),
+		admissionWait: NewHistogram(waitBuckets),
+	}
+}
+
+// ServingGauges is the point-in-time serving state exported as gauge
+// families, supplied on demand by the provider given to SetGauges.
+type ServingGauges struct {
+	// InFlight is the number of queries currently executing.
+	InFlight int `json:"in_flight"`
+	// Queued is the number of admitted requests waiting for a slot.
+	Queued int `json:"queued"`
+	// OpenCursors is the number of live incremental cursors.
+	OpenCursors int `json:"open_cursors"`
+	// Draining reports whether the server has begun graceful shutdown.
+	Draining bool `json:"draining"`
+}
+
+// SetGauges installs the serving layer's gauge provider. The provider
+// must be safe for concurrent use; it is called once per snapshot,
+// never under an obsrv lock. A nil receiver no-ops.
+func (m *ServingMetrics) SetGauges(provider func() ServingGauges) {
+	if m == nil || provider == nil {
+		return
+	}
+	m.gauges.Store(&provider)
+}
+
+// family returns (creating if needed) the aggregate for the named
+// request family. Callers hold m.mu.
+func (m *ServingMetrics) family(name string) *servingFamily {
+	f := m.families[name]
+	if f == nil {
+		f = &servingFamily{latency: NewHistogram(latencyBuckets)}
+		m.families[name] = f
+		i := sort.SearchStrings(m.names, name)
+		m.names = append(m.names, "")
+		copy(m.names[i+1:], m.names[i:])
+		m.names[i] = name
+	}
+	return f
+}
+
+// ObserveRequest records one served request of the given family: its
+// total latency (admission wait + execution) and, separately, the time
+// it spent waiting for an admission slot.
+func (m *ServingMetrics) ObserveRequest(family string, latency, admissionWait time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	f := m.family(family)
+	f.requests++
+	f.latency.Observe(latency.Seconds())
+	m.admissionWait.Observe(admissionWait.Seconds())
+	m.mu.Unlock()
+}
+
+// The Inc* methods are nil-safe: each guards the receiver before
+// taking a field address (evaluating &m.field on a nil receiver would
+// itself panic, so the guard cannot live inside inc alone).
+
+// IncShed counts one request rejected with 429 (admission queue full).
+func (m *ServingMetrics) IncShed() {
+	if m != nil {
+		m.inc(&m.shed)
+	}
+}
+
+// IncRejectedDraining counts one request rejected with 503 because the
+// server was draining.
+func (m *ServingMetrics) IncRejectedDraining() {
+	if m != nil {
+		m.inc(&m.rejectedDraining)
+	}
+}
+
+// IncDeadlineExceeded counts one request that ran out of deadline
+// budget (504).
+func (m *ServingMetrics) IncDeadlineExceeded() {
+	if m != nil {
+		m.inc(&m.deadlineExceeded)
+	}
+}
+
+// IncClientGone counts one request abandoned by its client (499).
+func (m *ServingMetrics) IncClientGone() {
+	if m != nil {
+		m.inc(&m.clientGone)
+	}
+}
+
+// IncFailed counts one request that failed with a server-side error.
+func (m *ServingMetrics) IncFailed() {
+	if m != nil {
+		m.inc(&m.failed)
+	}
+}
+
+// IncSlowQuery counts one request whose latency exceeded the
+// configured slow-query threshold.
+func (m *ServingMetrics) IncSlowQuery() {
+	if m != nil {
+		m.inc(&m.slowQueries)
+	}
+}
+
+// IncCursorOpened counts one incremental cursor opened.
+func (m *ServingMetrics) IncCursorOpened() {
+	if m != nil {
+		m.inc(&m.cursorsOpened)
+	}
+}
+
+// IncCursorExpired counts one incremental cursor reaped by the idle
+// sweep (as opposed to an explicit close).
+func (m *ServingMetrics) IncCursorExpired() {
+	if m != nil {
+		m.inc(&m.cursorsExpired)
+	}
+}
+
+func (m *ServingMetrics) inc(counter *uint64) {
+	m.mu.Lock()
+	*counter++
+	m.mu.Unlock()
+}
+
+// ServingFamilySnapshot is one request family's aggregate as rendered
+// by the exporters.
+type ServingFamilySnapshot struct {
+	Family   string            `json:"family"`
+	Requests uint64            `json:"requests"`
+	Latency  HistogramSnapshot `json:"latency_seconds"`
+}
+
+// ServingSnapshot is an immutable copy of the serving telemetry,
+// embedded in the registry Snapshot when a serving layer is attached.
+type ServingSnapshot struct {
+	Families      []ServingFamilySnapshot `json:"families"`
+	AdmissionWait HistogramSnapshot       `json:"admission_wait_seconds"`
+
+	Shed             uint64 `json:"shed"`
+	RejectedDraining uint64 `json:"rejected_draining"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	ClientGone       uint64 `json:"client_gone"`
+	Failed           uint64 `json:"failed"`
+	SlowQueries      uint64 `json:"slow_queries"`
+	CursorsOpened    uint64 `json:"cursors_opened"`
+	CursorsExpired   uint64 `json:"cursors_expired"`
+
+	Gauges ServingGauges `json:"gauges"`
+}
+
+// Snapshot copies the serving telemetry. The gauge provider runs
+// before the metrics mutex is taken, so a provider reading the
+// server's own locks can never deadlock against a concurrent
+// ObserveRequest. Safe on a nil receiver (returns an empty snapshot).
+func (m *ServingMetrics) Snapshot() ServingSnapshot {
+	if m == nil {
+		return ServingSnapshot{}
+	}
+	var g ServingGauges
+	if p := m.gauges.Load(); p != nil {
+		g = (*p)()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := ServingSnapshot{
+		Families:         make([]ServingFamilySnapshot, 0, len(m.names)),
+		AdmissionWait:    m.admissionWait.Snapshot(),
+		Shed:             m.shed,
+		RejectedDraining: m.rejectedDraining,
+		DeadlineExceeded: m.deadlineExceeded,
+		ClientGone:       m.clientGone,
+		Failed:           m.failed,
+		SlowQueries:      m.slowQueries,
+		CursorsOpened:    m.cursorsOpened,
+		CursorsExpired:   m.cursorsExpired,
+		Gauges:           g,
+	}
+	for _, name := range m.names {
+		f := m.families[name]
+		s.Families = append(s.Families, ServingFamilySnapshot{
+			Family:   name,
+			Requests: f.requests,
+			Latency:  f.latency.Snapshot(),
+		})
+	}
+	return s
+}
+
+// familyLabel renders the {family="..."} label set of the serving
+// families.
+func familyLabel(family string) string {
+	return `family="` + promEscape(family) + `"`
+}
+
+// writeServingProm appends the distjoin_serving_* families to the
+// exposition. Called by writeProm when the snapshot carries serving
+// telemetry.
+func writeServingProm(p *promW, s *ServingSnapshot) {
+	p.header("distjoin_serving_requests_total", "HTTP requests served, by request family.", "counter")
+	for _, f := range s.Families {
+		p.sample("distjoin_serving_requests_total", familyLabel(f.Family), float64(f.Requests))
+	}
+	p.header("distjoin_serving_request_latency_seconds", "End-to-end request latency (admission wait + execution), by request family.", "histogram")
+	for _, f := range s.Families {
+		p.histogram("distjoin_serving_request_latency_seconds", familyLabel(f.Family), f.Latency)
+	}
+	p.header("distjoin_serving_admission_wait_seconds", "Time requests spent waiting for an admission slot.", "histogram")
+	p.histogram("distjoin_serving_admission_wait_seconds", "", s.AdmissionWait)
+
+	p.header("distjoin_serving_shed_total", "Requests rejected with 429 because the admission queue was full.", "counter")
+	p.sample("distjoin_serving_shed_total", "", float64(s.Shed))
+	p.header("distjoin_serving_rejected_draining_total", "Requests rejected with 503 during graceful drain.", "counter")
+	p.sample("distjoin_serving_rejected_draining_total", "", float64(s.RejectedDraining))
+	p.header("distjoin_serving_deadline_exceeded_total", "Requests that exceeded their deadline budget (504).", "counter")
+	p.sample("distjoin_serving_deadline_exceeded_total", "", float64(s.DeadlineExceeded))
+	p.header("distjoin_serving_client_gone_total", "Requests abandoned by their client before completion (499).", "counter")
+	p.sample("distjoin_serving_client_gone_total", "", float64(s.ClientGone))
+	p.header("distjoin_serving_failed_total", "Requests that failed with a server-side error.", "counter")
+	p.sample("distjoin_serving_failed_total", "", float64(s.Failed))
+	p.header("distjoin_serving_slow_queries_total", "Requests slower than the configured slow-query threshold.", "counter")
+	p.sample("distjoin_serving_slow_queries_total", "", float64(s.SlowQueries))
+	p.header("distjoin_serving_cursors_opened_total", "Incremental cursors opened.", "counter")
+	p.sample("distjoin_serving_cursors_opened_total", "", float64(s.CursorsOpened))
+	p.header("distjoin_serving_cursors_expired_total", "Incremental cursors reaped by the idle sweep.", "counter")
+	p.sample("distjoin_serving_cursors_expired_total", "", float64(s.CursorsExpired))
+
+	p.header("distjoin_serving_inflight_queries", "Queries currently executing in the serving layer.", "gauge")
+	p.sample("distjoin_serving_inflight_queries", "", float64(s.Gauges.InFlight))
+	p.header("distjoin_serving_queued_requests", "Admitted requests waiting for an execution slot.", "gauge")
+	p.sample("distjoin_serving_queued_requests", "", float64(s.Gauges.Queued))
+	p.header("distjoin_serving_open_cursors", "Live incremental cursors.", "gauge")
+	p.sample("distjoin_serving_open_cursors", "", float64(s.Gauges.OpenCursors))
+	draining := 0.0
+	if s.Gauges.Draining {
+		draining = 1
+	}
+	p.header("distjoin_serving_draining", "1 while the server is draining for graceful shutdown, else 0.", "gauge")
+	p.sample("distjoin_serving_draining", "", draining)
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -41,9 +42,15 @@ type statsJSON struct {
 }
 
 type queryResponse struct {
+	// QueryID echoes the X-Distjoin-Query-Id header so the response
+	// body is self-describing in logs and captures.
+	QueryID   string     `json:"query_id,omitempty"`
 	Pairs     []pairJSON `json:"pairs"`
 	Truncated bool       `json:"truncated,omitempty"`
 	Stats     statsJSON  `json:"stats"`
+	// Explain carries the per-query trace timeline when the request
+	// opted in with ?explain=1.
+	Explain *explainJSON `json:"explain,omitempty"`
 }
 
 type errorResponse struct {
@@ -99,6 +106,7 @@ type incrementalCloseRequest struct {
 }
 
 type incrementalResponse struct {
+	QueryID  string     `json:"query_id,omitempty"`
 	Cursor   string     `json:"cursor,omitempty"`
 	Pairs    []pairJSON `json:"pairs"`
 	Done     bool       `json:"done"`
@@ -136,7 +144,13 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		status = ae.status
 	case errors.Is(err, errQueueFull):
 		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		// Retry-After is priced from the observed drain rate: roughly
+		// how long until the queue ahead of this client has drained.
+		// X-Queue-Depth lets clients back off proportionally.
+		depth := s.gate.queued()
+		w.Header().Set("Retry-After",
+			strconv.Itoa(retryAfterSeconds(depth, s.drain.ratePerSec(time.Now()))))
+		w.Header().Set("X-Queue-Depth", strconv.Itoa(depth))
 	case errors.Is(err, errDraining):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
@@ -150,6 +164,12 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		s.stats.Failed.Add(1)
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// failRequest records err on the request's telemetry, then renders it.
+func (s *Server) failRequest(w http.ResponseWriter, tel *reqTelemetry, err error) {
+	tel.err = err
+	s.writeError(w, err)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -248,44 +268,49 @@ func makePairs(pairs []distjoin.Pair) []pairJSON {
 
 // handleKDistance serves POST /v1/join/k.
 func (s *Server) handleKDistance(w http.ResponseWriter, r *http.Request) {
+	tel, w := s.beginRequest(w, "join/k")
+	defer tel.finish()
 	var req kDistanceRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
+	tel.index = req.Left + "," + req.Right
+	tel.k = req.K
 	algo, err := parseAlgorithm(req.Algorithm)
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
 	if err := s.checkK(req.K); err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
 	// Mirror the facade's Shards contract at the API boundary so the
 	// client gets a 400, not a 500, for the misconfiguration.
 	if req.Shards > 0 && algo != distjoin.AMKDJ && algo != distjoin.BKDJ {
-		s.writeError(w, badRequest("shards requires algorithm am or b, got %q", req.Algorithm))
+		s.failRequest(w, tel, badRequest("shards requires algorithm am or b, got %q", req.Algorithm))
 		return
 	}
 	if algo == distjoin.SJSort && req.MaxDist <= 0 {
-		s.writeError(w, badRequest("algorithm sj requires max_dist > 0"))
+		s.failRequest(w, tel, badRequest("algorithm sj requires max_dist > 0"))
 		return
 	}
 	left, err := s.resolve("left", req.Left)
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
 	right, err := s.resolve("right", req.Right)
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.DeadlineMS))
+	tel.deadline = s.deadline(req.DeadlineMS)
+	ctx, cancel := context.WithTimeout(r.Context(), tel.deadline)
 	defer cancel()
-	release, err := s.admit(ctx)
+	release, err := s.admitTimed(ctx, tel)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -293,6 +318,7 @@ func (s *Server) handleKDistance(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	var st distjoin.Stats
+	tel.st = &st
 	opts := &distjoin.Options{
 		Algorithm:     algo,
 		MaxDist:       req.MaxDist,
@@ -302,39 +328,56 @@ func (s *Server) handleKDistance(w http.ResponseWriter, r *http.Request) {
 		Context:       ctx,
 		Stats:         &st,
 		Registry:      s.cfg.Registry,
+		QueryID:       tel.queryID,
+	}
+	var tr *distjoin.Tracer
+	if wantExplain(r) {
+		tr = distjoin.NewTracer(0)
+		opts.Trace = tr
 	}
 	start := time.Now()
 	pairs, err := distjoin.KDistanceJoin(left, right, req.K, opts)
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, queryResponse{
-		Pairs: makePairs(pairs),
-		Stats: makeStats(&st, time.Since(start)),
-	})
+	tel.results = len(pairs)
+	resp := queryResponse{
+		QueryID: tel.queryID,
+		Pairs:   makePairs(pairs),
+		Stats:   makeStats(&st, time.Since(start)),
+	}
+	if tr != nil {
+		resp.Explain = buildExplain(tr, &st)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleKClosest serves POST /v1/join/closest.
 func (s *Server) handleKClosest(w http.ResponseWriter, r *http.Request) {
+	tel, w := s.beginRequest(w, "join/closest")
+	defer tel.finish()
 	var req kClosestRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
+	tel.index = req.Index
+	tel.k = req.K
 	if err := s.checkK(req.K); err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
 	idx, err := s.resolve("index", req.Index)
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.DeadlineMS))
+	tel.deadline = s.deadline(req.DeadlineMS)
+	ctx, cancel := context.WithTimeout(r.Context(), tel.deadline)
 	defer cancel()
-	release, err := s.admit(ctx)
+	release, err := s.admitTimed(ctx, tel)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -342,6 +385,7 @@ func (s *Server) handleKClosest(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	var st distjoin.Stats
+	tel.st = &st
 	opts := &distjoin.Options{
 		Shards:        req.Shards,
 		Parallelism:   req.Parallelism,
@@ -349,17 +393,29 @@ func (s *Server) handleKClosest(w http.ResponseWriter, r *http.Request) {
 		Context:       ctx,
 		Stats:         &st,
 		Registry:      s.cfg.Registry,
+		QueryID:       tel.queryID,
+	}
+	var tr *distjoin.Tracer
+	if wantExplain(r) {
+		tr = distjoin.NewTracer(0)
+		opts.Trace = tr
 	}
 	start := time.Now()
 	pairs, err := distjoin.KClosestPairs(idx, req.K, opts)
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, queryResponse{
-		Pairs: makePairs(pairs),
-		Stats: makeStats(&st, time.Since(start)),
-	})
+	tel.results = len(pairs)
+	resp := queryResponse{
+		QueryID: tel.queryID,
+		Pairs:   makePairs(pairs),
+		Stats:   makeStats(&st, time.Since(start)),
+	}
+	if tr != nil {
+		resp.Explain = buildExplain(tr, &st)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleWithin serves POST /v1/join/within. Pairs stream from the
@@ -367,18 +423,21 @@ func (s *Server) handleKClosest(w http.ResponseWriter, r *http.Request) {
 // requested limit (clamped to the server budget) and flags
 // truncation.
 func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
+	tel, w := s.beginRequest(w, "join/within")
+	defer tel.finish()
 	var req withinRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
+	tel.index = req.Left + "," + req.Right
 	if req.MaxDist < 0 || math.IsNaN(req.MaxDist) {
-		s.writeError(w, badRequest("max_dist must be a non-negative number"))
+		s.failRequest(w, tel, badRequest("max_dist must be a non-negative number"))
 		return
 	}
 	limit := s.cfg.maxResults()
 	if req.Limit < 0 {
-		s.writeError(w, badRequest("limit must be non-negative, got %d", req.Limit))
+		s.failRequest(w, tel, badRequest("limit must be non-negative, got %d", req.Limit))
 		return
 	}
 	if req.Limit > 0 && req.Limit < limit {
@@ -386,18 +445,19 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 	}
 	left, err := s.resolve("left", req.Left)
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
 	right, err := s.resolve("right", req.Right)
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.DeadlineMS))
+	tel.deadline = s.deadline(req.DeadlineMS)
+	ctx, cancel := context.WithTimeout(r.Context(), tel.deadline)
 	defer cancel()
-	release, err := s.admit(ctx)
+	release, err := s.admitTimed(ctx, tel)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -405,11 +465,18 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	var st distjoin.Stats
+	tel.st = &st
 	opts := &distjoin.Options{
 		QueueMemBytes: s.queueMem(req.QueueMemBytes),
 		Context:       ctx,
 		Stats:         &st,
 		Registry:      s.cfg.Registry,
+		QueryID:       tel.queryID,
+	}
+	var tr *distjoin.Tracer
+	if wantExplain(r) {
+		tr = distjoin.NewTracer(0)
+		opts.Trace = tr
 	}
 	var (
 		pairs     []distjoin.Pair
@@ -425,14 +492,20 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 		return true
 	})
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, queryResponse{
+	tel.results = len(pairs)
+	resp := queryResponse{
+		QueryID:   tel.queryID,
 		Pairs:     makePairs(pairs),
 		Truncated: truncated,
 		Stats:     makeStats(&st, time.Since(start)),
-	})
+	}
+	if tr != nil {
+		resp.Explain = buildExplain(tr, &st)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleIncrementalOpen serves POST /v1/join/incremental: it opens an
@@ -441,39 +514,43 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 // fetched with /v1/join/incremental/next. The deadline covers the
 // cursor's whole lifetime.
 func (s *Server) handleIncrementalOpen(w http.ResponseWriter, r *http.Request) {
+	tel, w := s.beginRequest(w, "incremental/open")
+	defer tel.finish()
 	var req incrementalOpenRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
+	tel.index = req.Left + "," + req.Right
 	page, err := s.pageSize(req.PageSize)
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
 	if req.BatchK < 0 {
-		s.writeError(w, badRequest("batch_k must be non-negative, got %d", req.BatchK))
+		s.failRequest(w, tel, badRequest("batch_k must be non-negative, got %d", req.BatchK))
 		return
 	}
 	left, err := s.resolve("left", req.Left)
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
 	right, err := s.resolve("right", req.Right)
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
 
 	d := s.deadline(req.DeadlineMS)
+	tel.deadline = d
 	deadline := time.Now().Add(d)
 	// Admission waits under the request context; the iterator runs
 	// under a cursor context rooted in the server's base context (it
 	// must outlive this request), sharing the same absolute deadline.
 	ctx, cancel := context.WithDeadline(r.Context(), deadline)
 	defer cancel()
-	release, err := s.admit(ctx)
+	release, err := s.admitTimed(ctx, tel)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -486,27 +563,30 @@ func (s *Server) handleIncrementalOpen(w http.ResponseWriter, r *http.Request) {
 		QueueMemBytes: s.queueMem(req.QueueMemBytes),
 		Context:       curCtx,
 		Registry:      s.cfg.Registry,
+		QueryID:       tel.queryID,
 	})
 	if err != nil {
 		curCancel()
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
 	id, err := newID()
 	if err != nil {
 		it.Close()
 		curCancel()
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
 	cur := &cursor{id: id, deadline: deadline, cancel: curCancel, it: it}
 
 	pairs, done, returned, err := cur.next(page)
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
+	tel.results = len(pairs)
 	resp := incrementalResponse{
+		QueryID:    tel.queryID,
 		Pairs:      makePairs(pairs),
 		Done:       done,
 		Returned:   returned,
@@ -515,9 +595,10 @@ func (s *Server) handleIncrementalOpen(w http.ResponseWriter, r *http.Request) {
 	if !done {
 		if err := s.cursors.add(cur, time.Now()); err != nil {
 			cur.close()
-			s.writeError(w, err)
+			s.failRequest(w, tel, err)
 			return
 		}
+		s.metrics.IncCursorOpened()
 		resp.Cursor = id
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -525,26 +606,29 @@ func (s *Server) handleIncrementalOpen(w http.ResponseWriter, r *http.Request) {
 
 // handleIncrementalNext serves POST /v1/join/incremental/next.
 func (s *Server) handleIncrementalNext(w http.ResponseWriter, r *http.Request) {
+	tel, w := s.beginRequest(w, "incremental/next")
+	defer tel.finish()
 	var req incrementalNextRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
 	page, err := s.pageSize(req.PageSize)
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
 	cur, ok := s.cursors.get(req.Cursor, time.Now())
 	if !ok {
-		s.writeError(w, notFound("unknown cursor %q (closed, expired, or never opened)", req.Cursor))
+		s.failRequest(w, tel, notFound("unknown cursor %q (closed, expired, or never opened)", req.Cursor))
 		return
 	}
 
 	// Bound the admission wait by the cursor's remaining lifetime.
+	tel.deadline = time.Until(cur.deadline)
 	ctx, cancel := context.WithDeadline(r.Context(), cur.deadline)
 	defer cancel()
-	release, err := s.admit(ctx)
+	release, err := s.admitTimed(ctx, tel)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -556,10 +640,12 @@ func (s *Server) handleIncrementalNext(w http.ResponseWriter, r *http.Request) {
 		s.cursors.remove(cur.id)
 	}
 	if err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
+	tel.results = len(pairs)
 	writeJSON(w, http.StatusOK, incrementalResponse{
+		QueryID:    tel.queryID,
 		Cursor:     req.Cursor,
 		Pairs:      makePairs(pairs),
 		Done:       done,
@@ -572,20 +658,23 @@ func (s *Server) handleIncrementalNext(w http.ResponseWriter, r *http.Request) {
 // Closing releases the cursor's engine iterator (idempotent at the
 // iterator level) and its registry entry.
 func (s *Server) handleIncrementalClose(w http.ResponseWriter, r *http.Request) {
+	tel, w := s.beginRequest(w, "incremental/close")
+	defer tel.finish()
 	var req incrementalCloseRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, err)
+		s.failRequest(w, tel, err)
 		return
 	}
 	cur, ok := s.cursors.remove(req.Cursor)
 	if !ok {
-		s.writeError(w, notFound("unknown cursor %q (closed, expired, or never opened)", req.Cursor))
+		s.failRequest(w, tel, notFound("unknown cursor %q (closed, expired, or never opened)", req.Cursor))
 		return
 	}
 	cur.close()
 	writeJSON(w, http.StatusOK, struct {
-		Closed bool `json:"closed"`
-	}{true})
+		QueryID string `json:"query_id"`
+		Closed  bool   `json:"closed"`
+	}{tel.queryID, true})
 }
 
 // handleIndexes serves GET /v1/indexes.

@@ -81,6 +81,23 @@ type cursorTable struct {
 	mu   sync.Mutex
 	byID map[string]*cursor
 	max  int
+
+	// expired, when non-nil, is called once per cursor reaped by the
+	// idle sweep (never for explicit closes), outside the table lock —
+	// the serving metrics hook behind
+	// distjoin_serving_cursors_expired_total.
+	expired func()
+}
+
+// notifyExpired fires the expiry hook n times; callers must not hold
+// t.mu.
+func (t *cursorTable) notifyExpired(n int) {
+	if t.expired == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		t.expired()
+	}
 }
 
 func newCursorTable(max int) *cursorTable {
@@ -105,11 +122,13 @@ func (t *cursorTable) add(c *cursor, now time.Time) error {
 	if len(t.byID) >= t.max {
 		t.mu.Unlock()
 		closeCursors(expired)
+		t.notifyExpired(len(expired))
 		return fmt.Errorf("%w: %d incremental cursors open", errQueueFull, t.max)
 	}
 	t.byID[c.id] = c
 	t.mu.Unlock()
 	closeCursors(expired)
+	t.notifyExpired(len(expired))
 	return nil
 }
 
@@ -122,6 +141,7 @@ func (t *cursorTable) get(id string, now time.Time) (*cursor, bool) {
 	c, ok := t.byID[id]
 	t.mu.Unlock()
 	closeCursors(expired)
+	t.notifyExpired(len(expired))
 	return c, ok
 }
 

@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -79,8 +80,25 @@ type Config struct {
 	MaxCursors int
 	// Registry, when non-nil, aggregates every served query into the
 	// process observability registry and backs the mounted /metrics,
-	// /queries, and /debug endpoints.
+	// /queries, and /debug endpoints. The server additionally feeds the
+	// registry's serving telemetry (Registry.Serving): the
+	// distjoin_serving_* Prometheus families on /metrics.
 	Registry *distjoin.Registry
+	// Logger, when non-nil, receives one structured record per /v1
+	// request ("request" at Info, or Warn when over the slow-query
+	// threshold) with the request's full telemetry: query ID, family,
+	// index, k, admission wait, queue depth at entry, deadline budget
+	// vs. elapsed, dist-calcs, eDmax correction mode, result count,
+	// and status. Nil disables request logging.
+	Logger *slog.Logger
+	// SlowQueryThreshold classifies a request as slow when its total
+	// latency strictly exceeds it (default 1s). Slow requests are
+	// logged at Warn, counted in distjoin_serving_slow_queries_total,
+	// and retained in the /debug/slowlog ring.
+	SlowQueryThreshold time.Duration
+	// SlowLogCapacity bounds the /debug/slowlog ring (default 128);
+	// once full, each new slow query evicts the oldest entry.
+	SlowLogCapacity int
 }
 
 func (c Config) maxInFlight() int {
@@ -146,6 +164,20 @@ func (c Config) maxCursors() int {
 	return 64
 }
 
+func (c Config) slowQueryThreshold() time.Duration {
+	if c.SlowQueryThreshold > 0 {
+		return c.SlowQueryThreshold
+	}
+	return time.Second
+}
+
+func (c Config) slowLogCapacity() int {
+	if c.SlowLogCapacity > 0 {
+		return c.SlowLogCapacity
+	}
+	return 128
+}
+
 // Sentinel errors of the admission and lifecycle paths; the API layer
 // maps them to HTTP statuses (queue full → 429, draining → 503).
 var (
@@ -179,6 +211,16 @@ type Server struct {
 	cursors *cursorTable
 	stats   counters
 
+	// Telemetry: metrics is the registry's serving-metrics sink (a
+	// nil-safe no-op without a registry), slow the /debug/slowlog
+	// ring, drain the completion-rate tracker pricing Retry-After,
+	// and qidPrefix/qidSeq the query-ID mint.
+	metrics   *distjoin.ServingMetrics
+	slow      *slowLog
+	drain     drainTracker
+	qidPrefix string
+	qidSeq    atomic.Uint64
+
 	// Lifecycle state: lmu guards the draining flag together with the
 	// count of queries past admission, so a query either sees draining
 	// and is rejected, or increments active before Shutdown samples it —
@@ -200,15 +242,30 @@ type Server struct {
 // New returns a server with no datasets registered.
 func New(cfg Config) *Server {
 	base, stop := context.WithCancel(context.Background())
-	return &Server{
-		cfg:      cfg,
-		gate:     newGate(cfg.maxInFlight(), cfg.maxQueued()),
-		indexes:  make(map[string]*distjoin.Index),
-		cursors:  newCursorTable(cfg.maxCursors()),
-		drained:  make(chan struct{}),
-		base:     base,
-		baseStop: stop,
+	s := &Server{
+		cfg:       cfg,
+		gate:      newGate(cfg.maxInFlight(), cfg.maxQueued()),
+		indexes:   make(map[string]*distjoin.Index),
+		cursors:   newCursorTable(cfg.maxCursors()),
+		drained:   make(chan struct{}),
+		base:      base,
+		baseStop:  stop,
+		metrics:   cfg.Registry.Serving(),
+		slow:      newSlowLog(cfg.slowLogCapacity()),
+		qidPrefix: newQIDPrefix(),
 	}
+	s.cursors.expired = s.metrics.IncCursorExpired
+	// The gauge provider reads the server's own admission gate and
+	// lifecycle state; obsrv invokes it outside its locks.
+	s.metrics.SetGauges(func() distjoin.ServingGauges {
+		return distjoin.ServingGauges{
+			InFlight:    s.gate.inFlight(),
+			Queued:      s.gate.queued(),
+			OpenCursors: s.cursors.open(),
+			Draining:    s.Draining(),
+		}
+	})
+	return s
 }
 
 // AddIndex registers idx under name, making it addressable by
@@ -388,6 +445,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/join/incremental/close", s.handleIncrementalClose)
 	mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// More specific than the /debug/ catch-all below, so it wins the
+	// ServeMux precedence contest.
+	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
 
 	// Observability endpoints share the mux, so one listener serves
 	// both the query API and the scrape surface.

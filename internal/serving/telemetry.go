@@ -1,0 +1,353 @@
+package serving
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distjoin"
+)
+
+// Request telemetry: every /v1 request is minted a query ID at entry
+// (returned as the X-Distjoin-Query-Id header and threaded into the
+// engine's registry entry via Options.QueryID), timed through
+// admission and execution, recorded in the structured request log,
+// classified into the distjoin_serving_* metric families, and — when
+// slower than the configured threshold — retained in a bounded
+// in-memory ring served at /debug/slowlog.
+
+// mintQueryID returns the next request identity: a per-process random
+// prefix plus a sequence number. The prefix keeps IDs from colliding
+// across server restarts; the sequence keeps minting allocation-cheap
+// and collision-free within a process (no per-request entropy read,
+// which can fail and would put an error path on every request).
+func (s *Server) mintQueryID() string {
+	seq := s.qidSeq.Add(1)
+	// Render the sequence without fmt to keep this path trivial.
+	var buf [20]byte
+	i := len(buf)
+	for n := seq; ; n /= 10 {
+		i--
+		buf[i] = byte('0' + n%10)
+		if n < 10 {
+			break
+		}
+	}
+	return s.qidPrefix + "-" + string(buf[i:])
+}
+
+// newQIDPrefix draws the per-process query-ID prefix. A failed entropy
+// read degrades to a fixed prefix: IDs stay unique within the process,
+// which is what the telemetry needs.
+func newQIDPrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "q0"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the status code a handler writes so the
+// deferred telemetry finisher can classify the request after the fact.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	if r.status == 0 {
+		r.status = status
+	}
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// reqTelemetry accumulates one request's telemetry as the handler
+// progresses; finish (deferred at handler entry) turns it into the
+// log record, the slow-query ring entry, and the metric samples.
+type reqTelemetry struct {
+	s       *Server
+	w       *statusRecorder
+	family  string
+	queryID string
+	start   time.Time
+
+	// Set by admitTimed.
+	admissionWait     time.Duration
+	queueDepthAtEntry int
+
+	// Set by the handler as the request is resolved.
+	index    string        // dataset name(s), comma-joined for two-sided joins
+	k        int           // ranked-query k, 0 where not applicable
+	deadline time.Duration // resolved deadline budget
+	st       *distjoin.Stats
+	results  int
+	err      error
+}
+
+// beginRequest starts telemetry for one /v1 request: mints the query
+// ID, exposes it as a response header, and wraps the ResponseWriter so
+// the final status is observable. Callers defer tel.finish()
+// immediately.
+func (s *Server) beginRequest(w http.ResponseWriter, family string) (*reqTelemetry, http.ResponseWriter) {
+	rec := &statusRecorder{ResponseWriter: w}
+	tel := &reqTelemetry{
+		s:       s,
+		w:       rec,
+		family:  family,
+		queryID: s.mintQueryID(),
+		start:   time.Now(),
+	}
+	rec.Header().Set("X-Distjoin-Query-Id", tel.queryID)
+	return tel, rec
+}
+
+// admitTimed is admit with the wait measured into tel and surfaced as
+// the X-Distjoin-Admission-Wait response header (integer microseconds)
+// so load generators can separate queueing from execution. The queue
+// depth observed at entry — before this request joined the line — is
+// recorded alongside. Completions feed the drain-rate tracker that
+// prices Retry-After on 429s.
+func (s *Server) admitTimed(ctx context.Context, tel *reqTelemetry) (func(), error) {
+	tel.queueDepthAtEntry = s.gate.queued()
+	waitStart := time.Now()
+	release, err := s.admit(ctx)
+	tel.admissionWait = time.Since(waitStart)
+	if err != nil {
+		tel.err = err
+		return nil, err
+	}
+	tel.w.Header().Set("X-Distjoin-Admission-Wait",
+		strconv.FormatInt(tel.admissionWait.Microseconds(), 10))
+	return func() {
+		release()
+		s.drain.observe()
+	}, nil
+}
+
+// finish closes out the request: one structured log line per request,
+// a slow-ring entry and counter when over threshold, and the metric
+// family samples. Deferred at handler entry so every exit path —
+// success, validation failure, shed, deadline — is recorded.
+func (t *reqTelemetry) finish() {
+	t.s.recordRequest(t, time.Since(t.start))
+}
+
+// slowLogEntry is the JSON schema of one slow-query record, shared by
+// the request log's attribute set and /debug/slowlog. Field order and
+// names are pinned by TestSlowLogSchema.
+type slowLogEntry struct {
+	QueryID           string  `json:"query_id"`
+	Family            string  `json:"family"`
+	Index             string  `json:"index,omitempty"`
+	K                 int     `json:"k,omitempty"`
+	Status            int     `json:"status"`
+	AdmissionWaitUS   int64   `json:"admission_wait_us"`
+	QueueDepthAtEntry int     `json:"queue_depth_at_entry"`
+	DeadlineMS        int64   `json:"deadline_ms"`
+	ElapsedMS         float64 `json:"elapsed_ms"`
+	DistCalcs         int64   `json:"dist_calcs"`
+	EDmaxMode         string  `json:"edmax_mode,omitempty"`
+	Results           int     `json:"results"`
+	Error             string  `json:"error,omitempty"`
+}
+
+// recordRequest classifies and records one finished request. Split
+// from finish with elapsed as a parameter so the threshold boundary is
+// unit-testable without clock control: a request is slow iff
+// elapsed is strictly greater than the threshold.
+func (s *Server) recordRequest(t *reqTelemetry, elapsed time.Duration) {
+	status := t.w.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	entry := slowLogEntry{
+		QueryID:           t.queryID,
+		Family:            t.family,
+		Index:             t.index,
+		K:                 t.k,
+		Status:            status,
+		AdmissionWaitUS:   t.admissionWait.Microseconds(),
+		QueueDepthAtEntry: t.queueDepthAtEntry,
+		DeadlineMS:        t.deadline.Milliseconds(),
+		ElapsedMS:         float64(elapsed.Microseconds()) / 1e3,
+		DistCalcs:         t.st.DistCalcs(),
+		EDmaxMode:         t.st.EstimateMode(),
+		Results:           t.results,
+	}
+	if t.err != nil {
+		entry.Error = t.err.Error()
+	}
+	slow := elapsed > s.cfg.slowQueryThreshold()
+	if slow {
+		s.slow.push(entry)
+	}
+
+	switch status {
+	case http.StatusOK:
+		s.metrics.ObserveRequest(t.family, elapsed, t.admissionWait)
+	case http.StatusTooManyRequests:
+		s.metrics.IncShed()
+	case http.StatusServiceUnavailable:
+		s.metrics.IncRejectedDraining()
+	case http.StatusGatewayTimeout:
+		s.metrics.IncDeadlineExceeded()
+	case statusClientClosedRequest:
+		s.metrics.IncClientGone()
+	default:
+		if status >= 500 {
+			s.metrics.IncFailed()
+		}
+	}
+	if slow {
+		s.metrics.IncSlowQuery()
+	}
+
+	if lg := s.cfg.Logger; lg != nil {
+		level := slog.LevelInfo
+		if slow {
+			level = slog.LevelWarn
+		}
+		lg.LogAttrs(context.Background(), level, "request",
+			slog.String("query_id", entry.QueryID),
+			slog.String("family", entry.Family),
+			slog.String("index", entry.Index),
+			slog.Int("k", entry.K),
+			slog.Int("status", entry.Status),
+			slog.Int64("admission_wait_us", entry.AdmissionWaitUS),
+			slog.Int("queue_depth_at_entry", entry.QueueDepthAtEntry),
+			slog.Int64("deadline_ms", entry.DeadlineMS),
+			slog.Float64("elapsed_ms", entry.ElapsedMS),
+			slog.Int64("dist_calcs", entry.DistCalcs),
+			slog.String("edmax_mode", entry.EDmaxMode),
+			slog.Int("results", entry.Results),
+			slog.Bool("slow", slow),
+			slog.String("error", entry.Error),
+		)
+	}
+}
+
+// slowLog is a bounded FIFO ring of recent slow-query records: once
+// full, each new entry evicts the oldest, so /debug/slowlog always
+// shows the most recent history.
+type slowLog struct {
+	mu   sync.Mutex
+	buf  []slowLogEntry
+	head int // index of the oldest entry
+	n    int
+}
+
+func newSlowLog(capacity int) *slowLog {
+	return &slowLog{buf: make([]slowLogEntry, 0, capacity)}
+}
+
+func (l *slowLog) push(e slowLogEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+		l.n++
+		return
+	}
+	l.buf[l.head] = e
+	l.head = (l.head + 1) % len(l.buf)
+}
+
+// snapshot returns the retained entries, oldest first.
+func (l *slowLog) snapshot() []slowLogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]slowLogEntry, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.buf[(l.head+i)%len(l.buf)])
+	}
+	return out
+}
+
+// handleSlowLog serves GET /debug/slowlog: the retained slow-query
+// records, oldest first, under the schema of slowLogEntry.
+func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		ThresholdMS int64          `json:"threshold_ms"`
+		Entries     []slowLogEntry `json:"entries"`
+	}{
+		ThresholdMS: s.cfg.slowQueryThreshold().Milliseconds(),
+		Entries:     s.slow.snapshot(),
+	})
+}
+
+// drainTracker observes request completions and derives the server's
+// recent drain rate, which prices the Retry-After header of 429
+// responses: a client should come back once the queue ahead of it has
+// plausibly drained.
+type drainTracker struct {
+	completions atomic.Int64
+
+	mu          sync.Mutex
+	windowStart time.Time
+	windowBase  int64   // completions at windowStart
+	lastRate    float64 // completions/sec over the last full window
+}
+
+// observe counts one completed request (anything that held a slot).
+func (d *drainTracker) observe() { d.completions.Add(1) }
+
+// ratePerSec returns the observed completion rate. Windows of at
+// least one second are folded into lastRate; before the first window
+// completes, the in-window rate is used so a fresh server still
+// prices its Retry-After from real observations.
+func (d *drainTracker) ratePerSec(now time.Time) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := d.completions.Load()
+	if d.windowStart.IsZero() {
+		d.windowStart = now
+		d.windowBase = cur
+		return 0
+	}
+	elapsed := now.Sub(d.windowStart)
+	if elapsed >= time.Second {
+		d.lastRate = float64(cur-d.windowBase) / elapsed.Seconds()
+		d.windowStart = now
+		d.windowBase = cur
+		return d.lastRate
+	}
+	if d.lastRate > 0 {
+		return d.lastRate
+	}
+	if elapsed > 0 {
+		return float64(cur-d.windowBase) / elapsed.Seconds()
+	}
+	return 0
+}
+
+// retryAfterSeconds prices a 429's Retry-After from the queue depth a
+// rejected client saw and the observed drain rate: roughly how long
+// until the line ahead has drained, clamped to [1, 60] seconds. An
+// unknown rate (cold server) falls back to the floor.
+func retryAfterSeconds(queueDepth int, ratePerSec float64) int {
+	if ratePerSec <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(queueDepth+1) / ratePerSec))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}

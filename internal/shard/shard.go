@@ -154,7 +154,7 @@ func KDJ(left, right *rtree.Tree, k int, algo Algo, cfg Config, opts join.Option
 		// didn't ask for one.
 		mc = &metrics.Collector{}
 	}
-	rq := opts.Registry.Begin(algo.String()+"/shard", k)
+	rq := opts.Registry.BeginNamed(algo.String()+"/shard", k, opts.QueryID)
 	defer func() { rq.End(mc, retErr) }()
 	mc.Start()
 	defer mc.Finish()

@@ -36,6 +36,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 )
 
 // Kind classifies a trace event.
@@ -104,6 +105,12 @@ type Event struct {
 	// Seq is the tracer-assigned sequence number (1-based, gapless
 	// even when the ring buffer drops old events).
 	Seq uint64 `json:"seq"`
+	// At is the event's recording time in microseconds since the
+	// tracer was constructed, assigned together with Seq. Worker
+	// events buffered under Parallelism > 1 are stamped when they
+	// merge at the batch barrier, so At is monotone with Seq and
+	// recording never perturbs worker scheduling.
+	At int64 `json:"at_us,omitempty"`
 	// Kind classifies the event.
 	Kind Kind `json:"kind"`
 	// Algo names the emitting algorithm ("AM-KDJ", "B-KDJ", ...).
@@ -170,6 +177,7 @@ type Tracer struct {
 	n       int // number of buffered events
 	seq     uint64
 	dropped uint64
+	start   time.Time // epoch for Event.At
 }
 
 // New returns a Tracer whose ring buffer holds up to capacity events;
@@ -180,7 +188,7 @@ func New(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Tracer{buf: make([]Event, 0, capacity)}
+	return &Tracer{buf: make([]Event, 0, capacity), start: time.Now()}
 }
 
 // Enabled reports whether events are actually recorded. It lets
@@ -216,6 +224,7 @@ func (t *Tracer) EmitAll(evs []Event) {
 func (t *Tracer) emitLocked(ev Event) {
 	t.seq++
 	ev.Seq = t.seq
+	ev.At = int64(time.Since(t.start) / time.Microsecond)
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, ev)
 		t.n++
