@@ -33,7 +33,7 @@ SIM_POINTS ?= 4
 # Continuous-benchmark knobs: the committed baseline was produced with
 # these values, so candidates must use the same ones to be comparable.
 BENCH_SCALE ?= 0.02
-BENCH_BASELINE ?= BENCH_3.json
+BENCH_BASELINE ?= BENCH_9.json
 BENCH_NEW ?= bench-new.json
 BENCH_THRESHOLD ?= 0.25
 
@@ -129,6 +129,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadFrom -fuzztime=20s ./internal/datagen
 	$(GO) test -fuzz=FuzzDecodeNode -fuzztime=20s ./internal/rtree
 	$(GO) test -fuzz=FuzzPairRoundTrip -fuzztime=20s ./internal/hybridq
+	$(GO) test -fuzz=FuzzBatchKernels -fuzztime=20s ./internal/geom
 	$(GO) test -fuzz=FuzzIndex -fuzztime=20s ./internal/sweep
 	$(GO) test -fuzz=FuzzScenario -fuzztime=20s ./internal/simtest
 
@@ -137,6 +138,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadFrom -fuzztime=10s ./internal/datagen
 	$(GO) test -fuzz=FuzzDecodeNode -fuzztime=10s ./internal/rtree
 	$(GO) test -fuzz=FuzzPairRoundTrip -fuzztime=10s ./internal/hybridq
+	$(GO) test -fuzz=FuzzBatchKernels -fuzztime=10s ./internal/geom
 	$(GO) test -fuzz=FuzzIndex -fuzztime=10s ./internal/sweep
 	$(GO) test -fuzz=FuzzScenario -fuzztime=10s ./internal/simtest
 

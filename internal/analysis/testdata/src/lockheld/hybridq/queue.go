@@ -62,3 +62,30 @@ func (q *queue) allowedSingleOwner(page []byte) {
 	defer q.lock()()
 	_ = q.store.ReadPage(0, page)
 }
+
+// pagePool mirrors the real queue's buffer pools: sync.Pool Get and
+// Put are pointer swaps, not blocking operations, so the pooled disk
+// path recycles slabs, page buffers, and segments entirely under the
+// queue mutex without a finding.
+var pagePool sync.Pool
+
+func (q *queue) goodPooledUnderLock(n int) []byte {
+	defer q.lock()()
+	h, _ := pagePool.Get().(*[]byte)
+	if h == nil || cap(*h) < n {
+		b := make([]byte, n)
+		h = &b
+	}
+	page := (*h)[:n]
+	pagePool.Put(h)
+	return page
+}
+
+// getBuf is a pool-only callee: the one-level walk sees no blocking
+// work in it, so calling it under the lock is accepted.
+func (q *queue) getBuf() interface{} { return pagePool.Get() }
+
+func (q *queue) goodPooledViaCallee() {
+	defer q.lock()()
+	_ = q.getBuf()
+}

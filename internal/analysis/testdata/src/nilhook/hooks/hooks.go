@@ -2,7 +2,11 @@
 // hook-field calls and tracer emission, guarded and unguarded.
 package hooks
 
-import "distjoin/internal/trace"
+import (
+	"sync"
+
+	"distjoin/internal/trace"
+)
 
 type queue struct {
 	fault func(op int) error
@@ -52,4 +56,20 @@ func conjunct(q *queue, err error, ev trace.Event) {
 	if err != nil && q.tr.Enabled() {
 		q.tr.Emit(ev)
 	}
+}
+
+// pooledEmit mirrors hybridq's pooled spill path: buffers return to
+// their sync.Pool before the trace event is emitted, and the emission
+// stays guarded — pool traffic around a hook call changes nothing
+// about the guard requirement.
+func pooledEmit(q *queue, pool *sync.Pool, h *[]byte, ev trace.Event) {
+	pool.Put(h)
+	if q.tr.Enabled() {
+		q.tr.Emit(ev)
+	}
+	q.tr.Emit(ev) // want "without an q.tr.Enabled\\(\\) guard"
+	if q.fault != nil {
+		_ = q.fault(1)
+	}
+	pool.Put(h)
 }

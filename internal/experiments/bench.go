@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"time"
 
 	"distjoin/internal/benchrec"
+	"distjoin/internal/hybridq"
 	"distjoin/internal/join"
 	"distjoin/internal/metrics"
 )
@@ -84,6 +86,37 @@ func PerfRecord(cfg Config, parallelism int) (*benchrec.Record, error) {
 		}
 	}
 
+	// Leaf-sweep batch-kernel series: a within-distance join at the
+	// larger k's oracle distance. WithinJoin runs every expansion with
+	// a fixed axis cutoff, so all leaf refinement goes through the
+	// struct-of-arrays batch kernels — this is the entry that guards
+	// the SoA hot path specifically. Counters are fully deterministic
+	// for a given (scale, seed).
+	{
+		k := ks[len(ks)-1]
+		dmax, err := w.Dmax(k)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("WITHIN/k=%d", k)
+		err = measure(name, "WITHIN", k, 0, func() (*metrics.Collector, error) {
+			return w.RunWithin(dmax, join.Options{})
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Pooled hybrid-queue series: a pure queue spill/reload cycle with
+	// a deliberately tiny memory budget, so every push/pop round trips
+	// through heap splits and segment swap-ins. This isolates the
+	// pooled disk path (pair slabs, page buffers, segments) from the
+	// join algorithms; the insert and page-I/O counters are
+	// deterministic for the fixed driver sequence.
+	if err := measureQueueCycle(measure); err != nil {
+		return nil, err
+	}
+
 	// One parallel AM-KDJ point at the larger k: wall clock is the
 	// interesting signal; counters are worker-order dependent.
 	if parallelism > 1 || parallelism == join.AutoParallelism {
@@ -112,4 +145,57 @@ func PerfRecord(cfg Config, parallelism int) (*benchrec.Record, error) {
 		}
 	}
 	return rec, nil
+}
+
+// queueCycleN is the number of pairs the QUEUE/spill-reload entry
+// pushes and pops per cycle; queueCycleBudget forces the cycle through
+// many heap splits and segment reloads so the pooled disk path — not
+// the in-memory heap — dominates.
+const (
+	queueCycleN      = 20000
+	queueCycleBudget = 64 * hybridq.RecordSize
+)
+
+// measureQueueCycle records the QUEUE/spill-reload benchmark entry: a
+// deterministic push/pop cycle through a hybrid queue small enough
+// that nearly every pair spills to disk and reloads. Distances come
+// from a fixed-seed generator, so the spill pattern — and with it the
+// insert and page-I/O counters — is identical across runs.
+func measureQueueCycle(measure func(name string, algo Algo, k, par int,
+	run func() (*metrics.Collector, error)) error) error {
+	return measure("QUEUE/spill-reload", "QUEUE", queueCycleN, 0,
+		func() (*metrics.Collector, error) {
+			mc := &metrics.Collector{}
+			mc.Start()
+			defer mc.Finish()
+			q := hybridq.New(hybridq.Config{
+				MemBytes: queueCycleBudget,
+				Metrics:  mc,
+			})
+			rng := rand.New(rand.NewSource(20000516))
+			for i := 0; i < queueCycleN; i++ {
+				q.Push(hybridq.Pair{
+					Dist:     rng.Float64() * 1000,
+					LeftObj:  true,
+					RightObj: true,
+					Left:     uint64(i),
+					Right:    uint64(i),
+				})
+				mc.AddMainQueueInsert(1)
+			}
+			popped := 0
+			for {
+				if _, ok := q.Pop(); !ok {
+					break
+				}
+				popped++
+			}
+			if err := q.Err(); err != nil {
+				return nil, err
+			}
+			if popped != queueCycleN {
+				return nil, fmt.Errorf("queue cycle popped %d pairs, want %d", popped, queueCycleN)
+			}
+			return mc, nil
+		})
 }

@@ -258,6 +258,33 @@ func (w *Workload) RunKDJ(algo Algo, k int, opts join.Options) (*metrics.Collect
 	return mc, nil
 }
 
+// RunWithin executes one cold within-distance join at the given
+// threshold and returns its collected metrics. The fixed cutoff makes
+// this the canonical batch-kernel workload: every leaf sweep refines
+// candidates through the struct-of-arrays distance kernels rather than
+// the scalar entry-at-a-time loop, so this entry isolates the kernel
+// hot path from queue and compensation machinery.
+func (w *Workload) RunWithin(maxDist float64, opts join.Options) (*metrics.Collector, error) {
+	if err := w.coldStart(); err != nil {
+		return nil, err
+	}
+	mc := &metrics.Collector{}
+	opts.Metrics = mc
+	if opts.QueueMemBytes == 0 {
+		opts.QueueMemBytes = w.Cfg.QueueMemBytes
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = w.Cfg.Parallelism
+	}
+	err := join.WithinJoin(w.Streets, w.Hydro, maxDist, opts, func(join.Result) bool {
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: WITHIN d=%g: %w", maxDist, err)
+	}
+	return mc, nil
+}
+
 // RunKDJSharded executes one cold AM-KDJ query through the
 // partition-parallel sharded executor and returns its collected
 // metrics. Wall clock is the interesting signal; the counters are

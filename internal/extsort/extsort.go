@@ -37,6 +37,7 @@ type Sorter[T any] struct {
 	memCap   int // records held in memory before a run spills
 	perPage  int
 	buf      []T
+	page     []byte // reusable run-write page, allocated on first spill
 	runs     []run
 	cache    map[int]*pageCache
 	total    int
@@ -112,7 +113,10 @@ func (s *Sorter[T]) spillRun() {
 	}
 	sort.SliceStable(s.buf, func(i, j int) bool { return s.less(s.buf[i], s.buf[j]) })
 	r := run{count: len(s.buf)}
-	page := make([]byte, s.store.PageSize())
+	if s.page == nil {
+		s.page = make([]byte, s.store.PageSize())
+	}
+	page := s.page
 	n := 0
 	flush := func() {
 		if n == 0 {
@@ -241,13 +245,22 @@ func (s *Sorter[T]) pageOf(runIdx, pageIdx int) ([]byte, error) {
 	if c != nil && c.pageIdx == pageIdx {
 		return c.data, nil
 	}
-	data := make([]byte, s.store.PageSize())
-	if err := s.store.ReadPage(r.pages[pageIdx], data); err != nil {
+	if c == nil {
+		c = &pageCache{pageIdx: -1, data: make([]byte, s.store.PageSize())}
+		s.cache[runIdx] = c
+	}
+	// Reuse the run's cache buffer across page advances: the merge
+	// walks each run sequentially, so without reuse a merge allocates
+	// one page per page read. The entry is invalidated before the read
+	// so a failed ReadPage cannot leave stale bytes labeled with a
+	// valid page index.
+	c.pageIdx = -1
+	if err := s.store.ReadPage(r.pages[pageIdx], c.data); err != nil {
 		return nil, err
 	}
 	s.mc.SortIO(1, 0, s.ioCost.SequentialPageCost())
-	s.cache[runIdx] = &pageCache{pageIdx: pageIdx, data: data}
-	return data, nil
+	c.pageIdx = pageIdx
+	return c.data, nil
 }
 
 // Next returns the next record in sorted order; ok is false at the end

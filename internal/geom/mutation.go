@@ -1,0 +1,40 @@
+package geom
+
+// Test-only mutation hook for the batch distance kernels.
+//
+// The deterministic simulation harness (internal/simtest) must be able
+// to prove it would catch a batch-kernel bug — the classic failure mode
+// of a vectorized rewrite is mishandling the tail of a slice, which a
+// harness that never fails cannot distinguish from a harness that
+// cannot fail. SetBatchTailMutation deliberately corrupts the last
+// element of every MinDistSqBatch result (an off-by-one in tail
+// handling: the final candidate's distance is replaced with its
+// neighbor's), so any sweep that batches its leaf-pair refinement
+// produces wrong distances that the differential oracle must flag.
+//
+// The hook is process-global and not synchronized: it must only be
+// flipped on the goroutine that runs the (serial) join, with no query
+// in flight, mirroring join.SetPruneMutation.
+
+// mutantBatchTail enables the deliberate tail bug. false (the default)
+// is the correct kernel.
+var mutantBatchTail = false
+
+// SetBatchTailMutation installs the deliberate batch-tail bug used by
+// the harness self-test and returns a func that restores correctness.
+// Callers must restore before any concurrent or correct-path use.
+func SetBatchTailMutation() (restore func()) {
+	prev := mutantBatchTail
+	mutantBatchTail = true
+	return func() { mutantBatchTail = prev }
+}
+
+// mutateBatchTail applies the active mutation to a batch kernel result:
+// the tail element is overwritten as if the kernel had iterated one
+// element short and duplicated the previous lane.
+func mutateBatchTail(dst []float64) {
+	if !mutantBatchTail || len(dst) < 2 {
+		return
+	}
+	dst[len(dst)-1] = dst[len(dst)-2]
+}

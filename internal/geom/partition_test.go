@@ -7,18 +7,26 @@ import (
 	"testing"
 )
 
-// Partition-boundary cases for Rect.MinDist: the sharded executor
-// (internal/shard) prunes partition pairs on the strict comparison
-// mindist(shardMBR, shardMBR) > cutoff, so the boundary behavior —
-// touching MBRs, overlapping MBRs, degenerate zero-area MBRs — decides
-// whether boundary-straddling result pairs survive pruning.
-func TestPartitionBoundaryMinDist(t *testing.T) {
-	cases := []struct {
-		name   string
-		a, b   Rect
-		want   float64
-		wantSq float64
-	}{
+// boundaryCase is one partition-boundary geometry with its exact
+// MinDist and MinDistSq: the sharded executor (internal/shard) prunes
+// partition pairs on the strict comparison mindist(shardMBR, shardMBR)
+// > cutoff, so the boundary behavior — touching MBRs, overlapping
+// MBRs, degenerate zero-area MBRs — decides whether
+// boundary-straddling result pairs survive pruning.
+type boundaryCase struct {
+	name   string
+	a, b   Rect
+	want   float64
+	wantSq float64
+}
+
+// boundaryMinDistCases is the shared partition-boundary table: every
+// MinDist implementation — the scalar Rect methods and the batch
+// kernels over SoA columns — must produce these exact values, in both
+// argument orders (the sharded executor's cross-pair orientation
+// normalization is only bit-exact because MinDist is symmetric).
+func boundaryMinDistCases() []boundaryCase {
+	return []boundaryCase{
 		{"edge-touching", NewRect(0, 0, 1, 1), NewRect(1, 0, 2, 1), 0, 0},
 		{"corner-touching", NewRect(0, 0, 1, 1), NewRect(1, 1, 2, 2), 0, 0},
 		{"overlapping", NewRect(0, 0, 2, 2), NewRect(1, 1, 3, 3), 0, 0},
@@ -36,22 +44,35 @@ func TestPartitionBoundaryMinDist(t *testing.T) {
 		{"two-points", NewRect(1, 2, 1, 2), NewRect(4, 6, 4, 6), 5, 25},
 		{"coincident-points", NewRect(3, 3, 3, 3), NewRect(3, 3, 3, 3), 0, 0},
 	}
-	for _, tc := range cases {
+}
+
+// checkBoundaryMinDist runs one MinDist/MinDistSq implementation
+// through the shared partition-boundary table, including the symmetry
+// requirement. minDist and minDistSq abstract over the path under
+// test: the scalar tests pass the Rect methods, the batch tests wrap
+// the kernels.
+func checkBoundaryMinDist(t *testing.T, minDist, minDistSq func(a, b Rect) float64) {
+	t.Helper()
+	for _, tc := range boundaryMinDistCases() {
 		t.Run(tc.name, func(t *testing.T) {
-			if got := tc.a.MinDist(tc.b); got != tc.want {
+			if got := minDist(tc.a, tc.b); got != tc.want {
 				t.Errorf("MinDist(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
 			}
-			// The sharded executor's cross-pair orientation
-			// normalization is only bit-exact because MinDist is
-			// symmetric; pin that down at the boundary cases too.
-			if got, rev := tc.a.MinDist(tc.b), tc.b.MinDist(tc.a); got != rev {
+			if got, rev := minDist(tc.a, tc.b), minDist(tc.b, tc.a); got != rev {
 				t.Errorf("MinDist asymmetric: %v vs %v", got, rev)
 			}
-			if sq := tc.a.MinDistSq(tc.b); sq != tc.wantSq {
+			if sq := minDistSq(tc.a, tc.b); sq != tc.wantSq {
 				t.Errorf("MinDistSq(%v, %v) = %v, want %v", tc.a, tc.b, sq, tc.wantSq)
 			}
 		})
 	}
+}
+
+func TestPartitionBoundaryMinDist(t *testing.T) {
+	checkBoundaryMinDist(t,
+		func(a, b Rect) float64 { return a.MinDist(b) },
+		func(a, b Rect) float64 { return a.MinDistSq(b) },
+	)
 }
 
 // TestPartitionAxisDistDegenerate pins AxisDist on touching and

@@ -269,8 +269,9 @@ func (q *Queue) Peek() (p Pair, ok bool) {
 // budget is temporarily exceeded by the run length — and only the
 // strictly-longer tail spills.
 func (q *Queue) splitHeap() {
-	items := append([]Pair(nil), q.heap.Items()...)
-	sort.Slice(items, func(i, j int) bool { return items[i].Less(items[j]) })
+	buf := getPairBuf(q.heap.Len())
+	items := append(buf.items, q.heap.Items()...)
+	sort.Sort(byPairOrder(items))
 	keep := len(items) / 2
 	if keep < 1 {
 		keep = 1
@@ -296,6 +297,8 @@ func (q *Queue) splitHeap() {
 		// and stop re-splitting until the heap can actually shed load.
 		q.memBound = bound
 		q.splitFloor = len(items)
+		buf.items = items
+		putPairBuf(buf)
 		return
 	}
 
@@ -305,27 +308,34 @@ func (q *Queue) splitHeap() {
 	if q.fault != nil {
 		if err := q.fault(FaultSpill); err != nil {
 			q.err = err
+			buf.items = items
+			putPairBuf(buf)
 			return
 		}
 	}
 	hi := q.memBound
 	q.memBound = bound
 	q.splitFloor = 0
-	seg := &segment{lo: bound, hi: hi, buf: make([]byte, q.store.PageSize())}
+	seg := getSegment(bound, hi, q.store.PageSize())
 	for _, p := range items[keep:] {
 		q.appendToSegment(seg, p)
 	}
 	q.insertSegment(seg)
 
+	spilled := len(items) - keep
 	q.heap.Clear()
 	for _, p := range items[:keep] {
 		q.heap.Push(p)
 	}
+	// Every pair is now copied into the heap or encoded into the
+	// segment buffer; the slab can recycle.
+	buf.items = items
+	putPairBuf(buf)
 	if q.tr.Enabled() {
 		q.tr.Emit(trace.Event{
 			Kind:     trace.KindQueueSpill,
 			Dist:     bound,
-			Count:    int64(len(items) - keep),
+			Count:    int64(spilled),
 			MemLen:   q.heap.Len(),
 			DiskLen:  q.diskLen(),
 			Segments: len(q.segs),
@@ -372,7 +382,7 @@ func (q *Queue) segmentFor(dist float64) *segment {
 			hi = s.lo
 		}
 	}
-	seg := &segment{lo: lo, hi: hi, buf: make([]byte, q.store.PageSize())}
+	seg := getSegment(lo, hi, q.store.PageSize())
 	q.insertSegment(seg)
 	return seg
 }
@@ -408,10 +418,19 @@ func (q *Queue) modelRange(dist float64) (lo, hi float64) {
 	return lo, hi
 }
 
-// insertSegment adds seg keeping q.segs sorted by lo.
+// insertSegment adds seg keeping q.segs sorted by lo. Segment ranges
+// are disjoint by construction (segmentFor clips against existing
+// segments, splits always carve below the spilled range), so a plain
+// insertion shift is equivalent to the full sort it replaced — and
+// allocation-free, which the steady-state allocation tests rely on.
 func (q *Queue) insertSegment(seg *segment) {
 	q.segs = append(q.segs, seg)
-	sort.Slice(q.segs, func(i, j int) bool { return q.segs[i].lo < q.segs[j].lo })
+	i := len(q.segs) - 1
+	for i > 0 && q.segs[i-1].lo > seg.lo {
+		q.segs[i] = q.segs[i-1]
+		i--
+	}
+	q.segs[i] = seg
 }
 
 // appendToSegment encodes p into the segment's trailing page buffer,
@@ -472,11 +491,16 @@ func (q *Queue) swapIn() bool {
 	q.segs = q.segs[1:]
 	q.splitFloor = 0 // heap is empty; any previous overrun is gone
 
-	items := make([]Pair, 0, seg.count)
-	page := make([]byte, q.store.PageSize())
+	buf := getPairBuf(seg.count)
+	items := buf.items
+	page := getPageBuf(q.store.PageSize())
 	for _, id := range seg.pages {
 		if err := q.store.ReadPage(id, page); err != nil {
 			q.err = err
+			buf.items = items
+			putPairBuf(buf)
+			putPageBuf(page)
+			putSegment(seg)
 			return false
 		}
 		q.mc.QueueIO(1, 0, q.ioCost.SequentialPageCost())
@@ -485,12 +509,13 @@ func (q *Queue) swapIn() bool {
 		}
 		q.free = append(q.free, id)
 	}
+	putPageBuf(page)
 	for i := 0; i < seg.bufCount; i++ {
 		items = append(items, decodePair(seg.buf[i*RecordSize:]))
 	}
 
 	if len(items) > q.capacity {
-		sort.Slice(items, func(i, j int) bool { return items[i].Less(items[j]) })
+		sort.Sort(byPairOrder(items))
 		keep := q.capacity
 		split := items[keep].Dist
 		//lint:allow floatcmp tie-run boundary scan is bit-exact by design: equal distances must never straddle the memory/disk boundary
@@ -508,7 +533,7 @@ func (q *Queue) swapIn() bool {
 			q.memBound = seg.hi
 			q.splitFloor = len(items)
 		} else {
-			rest := &segment{lo: bound, hi: seg.hi, buf: make([]byte, q.store.PageSize())}
+			rest := getSegment(bound, seg.hi, q.store.PageSize())
 			for _, p := range items[keep:] {
 				q.appendToSegment(rest, p)
 			}
@@ -523,17 +548,26 @@ func (q *Queue) swapIn() bool {
 	for _, p := range items {
 		q.heap.Push(p)
 	}
+	loaded := len(items)
+	// Everything is copied into the heap (or re-encoded into rest's
+	// buffer above); recycle the slab before the possible tail call so
+	// a chain of empty segments reuses one slab.
+	buf.items = items
+	putPairBuf(buf)
 	if q.tr.Enabled() {
 		q.tr.Emit(trace.Event{
 			Kind:     trace.KindQueueReload,
 			Dist:     seg.lo,
-			Count:    int64(len(items)),
+			Count:    int64(loaded),
 			MemLen:   q.heap.Len(),
 			DiskLen:  q.diskLen(),
 			Segments: len(q.segs),
 		})
 	}
-	return len(items) > 0 || q.swapIn()
+	// The segment is fully consumed — every record decoded and copied
+	// onward — so it recycles whole (header, page list, write buffer).
+	putSegment(seg)
+	return loaded > 0 || q.swapIn()
 }
 
 // Drain removes all pairs (used between experiment stages).
@@ -542,6 +576,7 @@ func (q *Queue) Drain() {
 	q.heap.Clear()
 	for _, s := range q.segs {
 		q.free = append(q.free, s.pages...)
+		putSegment(s)
 	}
 	q.segs = nil
 	q.memBound = math.Inf(1)

@@ -1,0 +1,9 @@
+//go:build race
+
+package hybridq
+
+// raceEnabled reports whether the race detector is active. The race
+// detector makes sync.Pool deliberately drop and randomize reuse to
+// surface use-after-put bugs, so allocation-count assertions that
+// depend on pool hits are skipped under -race.
+const raceEnabled = true

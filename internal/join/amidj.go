@@ -180,7 +180,7 @@ func (it *AMIDJIterator) expand(p hybridq.Pair) error {
 			return c.traceError(err)
 		}
 		var children int64
-		run.axisCutoff = func() float64 { return cur }
+		run.fixCutoff(cur)
 		run.record = true
 		run.emit = func(le, re rtree.NodeEntry, d float64) {
 			if d > cur {
@@ -212,7 +212,7 @@ func (it *AMIDJIterator) expand(p hybridq.Pair) error {
 	var children int64
 	run.prev = &ci.ranges
 	run.record = true
-	run.axisCutoff = func() float64 { return cur }
+	run.fixCutoff(cur)
 	run.reexamine = func(le, re rtree.NodeEntry, d float64) {
 		if d > prev && d <= cur {
 			if c.push(run.childPair(le, re, d)) {

@@ -183,7 +183,7 @@ func (c *execContext) amAggressiveSweep(p hybridq.Pair, eDmax float64, ct *cutof
 		return nil, c.traceError(err)
 	}
 	var children int64
-	run.axisCutoff = func() float64 { return eDmax }
+	run.fixCutoff(eDmax)
 	run.record = true
 	run.emit = func(le, re rtree.NodeEntry, d float64) {
 		if d > mutatedCutoff(ct.Cutoff()) { // mutatedCutoff is identity outside harness self-tests

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"distjoin/internal/geom"
 	"distjoin/internal/hybridq"
 	"distjoin/internal/rtree"
 )
@@ -71,19 +72,33 @@ func HSKDJ(left, right *rtree.Tree, k int, opts Options) (results []Result, err 
 
 // hsExpand performs one uni-directional expansion: the non-object side
 // (or, with two nodes, the higher-level side, ties to the left) is
-// expanded and each child is paired with the other side.
+// expanded and each child is paired with the other side intact. The
+// children decode into the expander's reusable SoA buffer and their
+// distances to the fixed other side come from one batch kernel call —
+// the uni-directional baseline is the most distance-computation-bound
+// algorithm of the suite, so it benefits the most from the contiguous
+// scan.
 func (c *execContext) hsExpand(p hybridq.Pair, ct *cutoffTracker) error {
 	expandLeft := c.hsPickSide(p)
 	tree, ref, isObj, rect := c.left, p.Left, p.LeftObj, p.LeftRect
+	otherRect := p.RightRect
 	if !expandLeft {
 		tree, ref, isObj, rect = c.right, p.Right, p.RightObj, p.RightRect
+		otherRect = p.LeftRect
 	}
-	entries, childIsObj, err := c.ex.sideEntries(tree, ref, isObj, rect)
+	ex := &c.ex
+	soa := &ex.soaL
+	childIsObj, err := ex.sideSoA(tree, ref, isObj, rect, soa)
 	if err != nil {
 		return c.traceError(err)
 	}
+	n := soa.Len()
+	dists := ex.distScratch(n)
+	geom.MinDistBatch(dists, otherRect, soa.MinX, soa.MinY, soa.MaxX, soa.MaxY)
+	ex.mc.AddRealDist(int64(n))
 	var children int64
-	for _, e := range entries {
+	for i := 0; i < n; i++ {
+		e := soa.Entry(i)
 		var np hybridq.Pair
 		if expandLeft {
 			np = hybridq.Pair{
@@ -98,7 +113,7 @@ func (c *execContext) hsExpand(p hybridq.Pair, ct *cutoffTracker) error {
 				LeftRect: p.LeftRect, RightRect: e.Rect,
 			}
 		}
-		np.Dist = c.ex.minDist(np.LeftRect, np.RightRect)
+		np.Dist = dists[i]
 		if ct != nil && np.Dist > ct.Cutoff() {
 			continue
 		}

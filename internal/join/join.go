@@ -25,6 +25,7 @@ import (
 	"distjoin/internal/obsrv"
 	"distjoin/internal/rtree"
 	"distjoin/internal/storage"
+	"distjoin/internal/sweep"
 	"distjoin/internal/trace"
 )
 
@@ -242,15 +243,30 @@ type execContext struct {
 	stage       string         // trace label: current stage
 }
 
-// expander carries the per-goroutine state a node expansion needs: a
-// scratch decode buffer and the metrics collector the work is
-// accounted to. The execContext owns one for the serial path; the
-// parallel engine gives each worker goroutine its own, backed by a
-// metrics shard, so expansions never share mutable state.
+// expander carries the per-goroutine state a node expansion needs: the
+// struct-of-arrays decode buffers, the sweep scratch, and the metrics
+// collector the work is accounted to. The execContext owns one for the
+// serial path; the parallel engine gives each worker goroutine its
+// own, backed by a metrics shard, so expansions never share mutable
+// state. All scratch is reused across expansions, so a warm expander
+// expands nodes without allocating.
 type expander struct {
-	c       *execContext
-	mc      *metrics.Collector
-	scratch rtree.Node // reused decode buffer for sideEntries
+	c          *execContext
+	mc         *metrics.Collector
+	soaL, soaR rtree.NodeSoA   // reused SoA decode buffers for sideSoA
+	sorter     sweep.SoASorter // reused sweep-order sorter
+	run        sweepRun        // reused sweep state, handed out by expansion
+	distBuf    []float64       // reused batch distance kernel output
+}
+
+// distScratch returns a length-n float64 scratch slice, growing the
+// expander's reusable buffer when needed. The slice is only valid
+// until the next distScratch call on this expander.
+func (e *expander) distScratch(n int) []float64 {
+	if cap(e.distBuf) < n {
+		e.distBuf = make([]float64, n)
+	}
+	return e.distBuf[:n]
 }
 
 // newContext validates inputs and builds the shared state.
@@ -390,29 +406,27 @@ func pairResult(p hybridq.Pair) Result {
 	}
 }
 
-// sideEntries materializes the expandable entries of one pair side:
-// the node's children for node sides (reading the node and recording
-// the access), or the object itself as a singleton list. childIsObj
-// reports whether the returned entries are objects.
-func (e *expander) sideEntries(tree *rtree.Tree, ref uint64, isObj bool, rect geom.Rect) (entries []rtree.NodeEntry, childIsObj bool, err error) {
+// sideSoA materializes the expandable entries of one pair side into
+// dst (one of the expander's reusable SoA buffers): the node's
+// children for node sides (reading the node and recording the access),
+// or the object itself as a singleton. childIsObj reports whether the
+// materialized entries are objects.
+func (e *expander) sideSoA(tree *rtree.Tree, ref uint64, isObj bool, rect geom.Rect, dst *rtree.NodeSoA) (childIsObj bool, err error) {
 	if isObj {
-		return []rtree.NodeEntry{{Rect: rect, Ref: ref}}, true, nil
+		dst.SetSingle(rect, ref)
+		return true, nil
 	}
-	// Decode into the per-expander scratch node (its entry buffer is
-	// reused across reads), then copy out: the sweep sorts and retains
-	// the entries past the next read.
-	if err := tree.ReadNode(refPage(ref), &e.scratch, e.mc); err != nil {
-		return nil, false, err
+	if err := tree.ReadNodeSoA(refPage(ref), dst, e.mc); err != nil {
+		return false, err
 	}
-	entries = make([]rtree.NodeEntry, len(e.scratch.Entries))
-	copy(entries, e.scratch.Entries)
-	if !e.scratch.IsLeaf() {
+	if !dst.IsLeaf() {
 		// Stamp child levels into the refs.
-		for i := range entries {
-			entries[i].Ref = nodeRef(storage.PageID(entries[i].Ref), e.scratch.Level-1)
+		lvl := dst.Level - 1
+		for i, r := range dst.Refs {
+			dst.Refs[i] = nodeRef(storage.PageID(r), lvl)
 		}
 	}
-	return entries, e.scratch.IsLeaf(), nil
+	return dst.IsLeaf(), nil
 }
 
 // maxDist computes the maximum distance between two rects, counted as

@@ -206,7 +206,7 @@ func (e *expander) aggressiveChildren(p hybridq.Pair, eDmax float64, cutoff func
 		out.err = err
 		return
 	}
-	run.axisCutoff = func() float64 { return eDmax }
+	run.fixCutoff(eDmax)
 	run.record = true
 	run.emit = func(le, re rtree.NodeEntry, d float64) {
 		if d > cutoff() {
@@ -255,7 +255,7 @@ func (e *expander) idjFreshChildren(p hybridq.Pair, cur float64, record bool, ou
 		out.err = err
 		return
 	}
-	run.axisCutoff = func() float64 { return cur }
+	run.fixCutoff(cur)
 	run.record = true
 	run.emit = func(le, re rtree.NodeEntry, d float64) {
 		if d > cur {
@@ -281,7 +281,7 @@ func (e *expander) idjBandChildren(p hybridq.Pair, ci *compInfo, cur, prev float
 	}
 	run.prev = &ci.ranges
 	run.record = true
-	run.axisCutoff = func() float64 { return cur }
+	run.fixCutoff(cur)
 	run.reexamine = func(le, re rtree.NodeEntry, d float64) {
 		if d > prev && d <= cur {
 			out.pairs = append(out.pairs, run.childPair(le, re, d))

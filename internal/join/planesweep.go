@@ -1,6 +1,7 @@
 package join
 
 import (
+	"distjoin/internal/geom"
 	"distjoin/internal/hybridq"
 	"distjoin/internal/rtree"
 	"distjoin/internal/sweep"
@@ -23,15 +24,34 @@ type sweepRanges struct {
 
 // sweepRun executes one bidirectional node expansion by plane sweep
 // (the PlaneSweep / AggressivePlaneSweep / CompensatePlaneSweep
-// procedures of Algorithms 1–3, unified).
+// procedures of Algorithms 1–3, unified) over the struct-of-arrays
+// node layout: both sides are rtree.NodeSoA columns, so the merge
+// loop, the axis-gap scans, and the distance kernels all read
+// contiguous float64 slices.
 //
 // L and R must already be sorted per plan. The merge loop repeatedly
 // takes the entry with the minimum sweep key as the anchor and scans
 // the not-yet-anchored prefix-remainder of the opposite list in key
-// order, breaking at the first candidate whose axis gap exceeds
-// axisCutoff(). For each surviving candidate the real distance is
+// order, breaking at the first candidate whose axis gap exceeds the
+// axis cutoff. For each surviving candidate the real distance is
 // computed (and counted) and emit is invoked; emit applies the
 // real-distance filter and the queueing.
+//
+// The axis cutoff comes in two forms with different scan strategies:
+//
+//   - fixCutoff(c): the cutoff is a constant for the whole sweep
+//     (aggressive stages, AM-IDJ stages, within-joins). The candidate
+//     window of an anchor is then independent of emission, so the scan
+//     finds the whole window first and computes its distances with one
+//     geom.MinDistBatch call over the coordinate columns.
+//   - axisCutoff (func): the cutoff tightens as emissions feed the
+//     distance queue (B-KDJ, AM-KDJ compensation). The scan stays
+//     interleaved — cutoff, distance, emit per candidate — because the
+//     window depends on what was already emitted.
+//
+// Both paths count axis and real distance computations exactly as the
+// historical per-entry engine did and emit in the same candidate
+// order, which is what keeps results and counters byte-identical.
 //
 // Compensation: when prev is non-nil the anchor scan skips the ranges
 // examined by the earlier stage; when reexamine is additionally
@@ -39,10 +59,11 @@ type sweepRanges struct {
 // case, where the real-distance cutoff has grown between stages).
 type sweepRun struct {
 	e          *expander
-	L, R       []rtree.NodeEntry
+	L, R       *rtree.NodeSoA
 	lObj, rObj bool // whether L / R entries are objects
 	plan       sweep.Plan
-	axisCutoff func() float64
+	axisCutoff func() float64 // dynamic cutoff; nil selects the fixed batch path
+	cutoff     float64        // fixed axis cutoff, valid when axisCutoff is nil
 	emit       func(le, re rtree.NodeEntry, d float64)
 	prev       *sweepRanges
 	reexamine  func(le, re rtree.NodeEntry, d float64)
@@ -50,17 +71,26 @@ type sweepRun struct {
 	out        sweepRanges
 }
 
+// fixCutoff declares the axis cutoff constant for the whole sweep,
+// selecting the batched candidate scan. Stages whose cutoff tightens
+// mid-sweep must assign axisCutoff instead.
+func (s *sweepRun) fixCutoff(c float64) {
+	s.axisCutoff = nil
+	s.cutoff = c
+}
+
 // run executes the sweep. When record is set, out holds the examined
 // ranges afterwards.
 func (s *sweepRun) run() {
 	if s.record {
-		s.out.l = makeEmptyRanges(len(s.L), len(s.R))
-		s.out.r = makeEmptyRanges(len(s.R), len(s.L))
+		s.out.l = makeEmptyRanges(s.L.Len(), s.R.Len())
+		s.out.r = makeEmptyRanges(s.R.Len(), s.L.Len())
 	}
 	i, j := 0, 0
-	for i < len(s.L) && j < len(s.R) {
-		kl := sweep.Key(s.L[i].Rect, s.plan.Axis, s.plan.Dir)
-		kr := sweep.Key(s.R[j].Rect, s.plan.Axis, s.plan.Dir)
+	nl, nr := s.L.Len(), s.R.Len()
+	for i < nl && j < nr {
+		kl := soaKey(s.L, i, s.plan)
+		kr := soaKey(s.R, j, s.plan)
 		if kl <= kr {
 			s.sweepAnchor(true, i, j)
 			i++
@@ -71,9 +101,20 @@ func (s *sweepRun) run() {
 	}
 }
 
+// soaKey is sweep.Key read straight from the coordinate columns.
+func soaKey(n *rtree.NodeSoA, i int, p sweep.Plan) float64 {
+	if p.Dir == sweep.Forward {
+		return n.Lo(p.Axis)[i]
+	}
+	return -n.Hi(p.Axis)[i]
+}
+
 // makeEmptyRanges initializes per-anchor ranges to empty-at-end, the
 // correct value for entries that never become anchors (their pairs are
-// all covered from the opposite side).
+// all covered from the opposite side). The slices are freshly
+// allocated on purpose: recorded ranges escape into long-lived
+// compensation bookkeeping (compInfo), so they must not alias any
+// reused scratch.
 func makeEmptyRanges(n, otherLen int) []anchorRange {
 	rs := make([]anchorRange, n)
 	for i := range rs {
@@ -85,15 +126,13 @@ func makeEmptyRanges(n, otherLen int) []anchorRange {
 // sweepAnchor processes one anchor: the entry at index ai on the given
 // side, with oj the current consumption point of the opposite list.
 func (s *sweepRun) sweepAnchor(fromL bool, ai, oj int) {
-	var anchor rtree.NodeEntry
-	var others []rtree.NodeEntry
+	var a, o *rtree.NodeSoA
 	if fromL {
-		anchor = s.L[ai]
-		others = s.R
+		a, o = s.L, s.R
 	} else {
-		anchor = s.R[ai]
-		others = s.L
+		a, o = s.R, s.L
 	}
+	anchor := a.Entry(ai)
 
 	start := oj
 	recFrom := oj
@@ -108,9 +147,7 @@ func (s *sweepRun) sweepAnchor(fromL bool, ai, oj int) {
 			// Band mode: the earlier stage examined [pr.from, pr.to)
 			// under a smaller real-distance cutoff; revisit them so
 			// pairs in the grown band are recovered.
-			for m := pr.from; m < pr.to; m++ {
-				s.dispatch(fromL, anchor, others[m], s.reexamine)
-			}
+			s.scanBand(fromL, anchor, o, int(pr.from), int(pr.to))
 		}
 		if int(pr.to) > start {
 			start = int(pr.to)
@@ -120,14 +157,86 @@ func (s *sweepRun) sweepAnchor(fromL bool, ai, oj int) {
 		}
 	}
 
+	// The axis-gap scan reads one coordinate column: the candidates'
+	// lower bounds against the anchor's upper bound for forward sweeps
+	// (and mirrored for backward), exactly sweep.AxisGap unrolled.
+	axis := s.plan.Axis
+	forward := s.plan.Dir == sweep.Forward
+	var base float64
+	var col []float64
+	if forward {
+		base = anchor.Rect.Max(axis)
+		col = o.Lo(axis)
+	} else {
+		base = anchor.Rect.Min(axis)
+		col = o.Hi(axis)
+	}
+	n := o.Len()
+
 	stop := start
-	for m := start; m < len(others); m++ {
-		s.e.mc.AddAxisDist(1)
-		if sweep.AxisGap(anchor.Rect, others[m].Rect, s.plan.Axis, s.plan.Dir) > s.axisCutoff() {
-			break
+	if s.axisCutoff == nil {
+		// Fixed cutoff: find the whole candidate window first, then
+		// compute its distances with one batch kernel call.
+		cut := s.cutoff
+		scanned := 0
+		if forward {
+			for m := start; m < n; m++ {
+				scanned++
+				g := col[m] - base
+				if g < 0 {
+					g = 0
+				}
+				if g > cut {
+					break
+				}
+				stop = m + 1
+			}
+		} else {
+			for m := start; m < n; m++ {
+				scanned++
+				g := base - col[m]
+				if g < 0 {
+					g = 0
+				}
+				if g > cut {
+					break
+				}
+				stop = m + 1
+			}
 		}
-		s.dispatch(fromL, anchor, others[m], s.emit)
-		stop = m + 1
+		s.e.mc.AddAxisDist(int64(scanned))
+		if stop > start {
+			dst := s.e.distScratch(stop - start)
+			geom.MinDistBatch(dst, anchor.Rect,
+				o.MinX[start:stop], o.MinY[start:stop],
+				o.MaxX[start:stop], o.MaxY[start:stop])
+			s.e.mc.AddRealDist(int64(stop - start))
+			for m := start; m < stop; m++ {
+				le, re := orientEntries(fromL, anchor, o.Entry(m))
+				s.emit(le, re, dst[m-start])
+			}
+		}
+	} else {
+		// Dynamic cutoff: emissions tighten the window mid-scan, so
+		// cutoff, distance, and emit stay interleaved per candidate.
+		for m := start; m < n; m++ {
+			s.e.mc.AddAxisDist(1)
+			var g float64
+			if forward {
+				g = col[m] - base
+			} else {
+				g = base - col[m]
+			}
+			if g < 0 {
+				g = 0
+			}
+			if g > s.axisCutoff() {
+				break
+			}
+			le, re := orientEntries(fromL, anchor, o.Entry(m))
+			s.emit(le, re, s.e.minDist(le.Rect, re.Rect))
+			stop = m + 1
+		}
 	}
 
 	if s.record {
@@ -143,17 +252,38 @@ func (s *sweepRun) sweepAnchor(fromL bool, ai, oj int) {
 	}
 }
 
-// dispatch computes the (counted) real distance of the candidate pair
-// and forwards it, in (left, right) orientation, to fn.
-func (s *sweepRun) dispatch(anchorFromL bool, anchor, other rtree.NodeEntry, fn func(le, re rtree.NodeEntry, d float64)) {
-	var le, re rtree.NodeEntry
-	if anchorFromL {
-		le, re = anchor, other
-	} else {
-		le, re = other, anchor
+// scanBand revisits the previously examined candidate range
+// [from, to) of one anchor through reexamine, batching the distance
+// computations when the cutoff is fixed (the only mode band
+// re-examination runs under).
+func (s *sweepRun) scanBand(fromL bool, anchor rtree.NodeEntry, o *rtree.NodeSoA, from, to int) {
+	if to <= from {
+		return
 	}
-	d := s.e.minDist(le.Rect, re.Rect)
-	fn(le, re, d)
+	if s.axisCutoff == nil {
+		dst := s.e.distScratch(to - from)
+		geom.MinDistBatch(dst, anchor.Rect,
+			o.MinX[from:to], o.MinY[from:to], o.MaxX[from:to], o.MaxY[from:to])
+		s.e.mc.AddRealDist(int64(to - from))
+		for m := from; m < to; m++ {
+			le, re := orientEntries(fromL, anchor, o.Entry(m))
+			s.reexamine(le, re, dst[m-from])
+		}
+		return
+	}
+	for m := from; m < to; m++ {
+		le, re := orientEntries(fromL, anchor, o.Entry(m))
+		s.reexamine(le, re, s.e.minDist(le.Rect, re.Rect))
+	}
+}
+
+// orientEntries returns the pair in (left, right) orientation given
+// which side the anchor came from.
+func orientEntries(anchorFromL bool, anchor, other rtree.NodeEntry) (le, re rtree.NodeEntry) {
+	if anchorFromL {
+		return anchor, other
+	}
+	return other, anchor
 }
 
 // childPair builds the queue element for a candidate child pair.
@@ -170,39 +300,31 @@ func (s *sweepRun) childPair(le, re rtree.NodeEntry, d float64) hybridq.Pair {
 }
 
 // expansion materializes both sides of a pair for sweeping: the child
-// entries, their kind, and the sweep plan (per-pair axis and direction
-// selection of §3.2/§3.3, or the fixed policy for the ablation).
+// entries in SoA form, their kind, and the sweep plan (per-pair axis
+// and direction selection of §3.2/§3.3, or the fixed policy for the
+// ablation). The returned run is the expander's reusable scratch: it
+// is valid until the expander's next expansion.
 func (e *expander) expansion(p hybridq.Pair, cutoff float64) (*sweepRun, error) {
-	c := e.c
-	L, lObj, err := e.sideEntries(c.left, p.Left, p.LeftObj, p.LeftRect)
-	if err != nil {
-		return nil, err
-	}
-	R, rObj, err := e.sideEntries(c.right, p.Right, p.RightObj, p.RightRect)
-	if err != nil {
-		return nil, err
-	}
-	plan := c.choosePlan(p, cutoff)
-	sweep.SortEntries(L, plan)
-	sweep.SortEntries(R, plan)
-	return &sweepRun{e: e, L: L, R: R, lObj: lObj, rObj: rObj, plan: plan}, nil
+	return e.expansionWithPlan(p, e.c.choosePlan(p, cutoff))
 }
 
 // expansionWithPlan is expansion with a predetermined plan, used by the
 // compensation stage to reproduce the stage-one sweep order exactly.
 func (e *expander) expansionWithPlan(p hybridq.Pair, plan sweep.Plan) (*sweepRun, error) {
 	c := e.c
-	L, lObj, err := e.sideEntries(c.left, p.Left, p.LeftObj, p.LeftRect)
+	lObj, err := e.sideSoA(c.left, p.Left, p.LeftObj, p.LeftRect, &e.soaL)
 	if err != nil {
 		return nil, err
 	}
-	R, rObj, err := e.sideEntries(c.right, p.Right, p.RightObj, p.RightRect)
+	rObj, err := e.sideSoA(c.right, p.Right, p.RightObj, p.RightRect, &e.soaR)
 	if err != nil {
 		return nil, err
 	}
-	sweep.SortEntries(L, plan)
-	sweep.SortEntries(R, plan)
-	return &sweepRun{e: e, L: L, R: R, lObj: lObj, rObj: rObj, plan: plan}, nil
+	e.sorter.Sort(&e.soaL, plan)
+	e.sorter.Sort(&e.soaR, plan)
+	r := &e.run
+	*r = sweepRun{e: e, L: &e.soaL, R: &e.soaR, lObj: lObj, rObj: rObj, plan: plan}
+	return r, nil
 }
 
 // choosePlan applies the sweep policy.

@@ -53,7 +53,7 @@ func SJSort(left, right *rtree.Tree, k int, dmax float64, opts Options) (results
 		if err != nil {
 			return nil, err
 		}
-		run.axisCutoff = func() float64 { return dmax }
+		run.fixCutoff(dmax)
 		run.emit = func(le, re rtree.NodeEntry, d float64) {
 			if d > dmax {
 				return

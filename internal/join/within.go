@@ -58,7 +58,7 @@ func WithinJoin(left, right *rtree.Tree, maxDist float64, opts Options, fn func(
 			return c.traceError(err)
 		}
 		var children int64
-		run.axisCutoff = func() float64 { return maxDist }
+		run.fixCutoff(maxDist)
 		run.emit = func(le, re rtree.NodeEntry, d float64) {
 			if stop || d > maxDist {
 				return

@@ -1,0 +1,124 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"distjoin/internal/geom"
+)
+
+// NodeSoA is a struct-of-arrays decoding of one paged node: the entry
+// MBRs as four parallel coordinate slices plus the refs. The plane
+// sweep and the geom batch distance kernels scan these slices as
+// contiguous float64 memory instead of striding over 40-byte
+// NodeEntry records.
+//
+// All five slices share one backing allocation (coords for the four
+// coordinate columns, refs for the references), sized once and reused
+// across decodes, so a warm NodeSoA decodes with zero allocations.
+type NodeSoA struct {
+	// Level is the node's height above the leaves; 0 means leaf.
+	Level int
+	// MinX, MinY, MaxX, MaxY are the entry MBR coordinate columns.
+	MinX, MinY, MaxX, MaxY []float64
+	// Refs holds child page IDs at internal nodes and object IDs at
+	// leaves, in entry order.
+	Refs []uint64
+
+	coords []float64 // single backing array for the four columns
+}
+
+// Len returns the number of entries.
+func (s *NodeSoA) Len() int { return len(s.Refs) }
+
+// IsLeaf reports whether the node is a leaf.
+func (s *NodeSoA) IsLeaf() bool { return s.Level == 0 }
+
+// Reset resizes the node to n entries with undefined contents, reusing
+// the backing arrays when they are large enough (one allocation of the
+// coordinate block and one of the ref block otherwise).
+func (s *NodeSoA) Reset(n int) {
+	if cap(s.coords) < 4*n {
+		s.coords = make([]float64, 4*n)
+	}
+	c := s.coords[:4*n]
+	s.MinX = c[0*n : 1*n : 1*n]
+	s.MinY = c[1*n : 2*n : 2*n]
+	s.MaxX = c[2*n : 3*n : 3*n]
+	s.MaxY = c[3*n : 4*n : 4*n]
+	if cap(s.Refs) < n {
+		s.Refs = make([]uint64, n)
+	}
+	s.Refs = s.Refs[:n]
+}
+
+// SetSingle makes the node a one-entry leaf holding r with the given
+// ref — the singleton list a join expansion uses for an object side.
+func (s *NodeSoA) SetSingle(r geom.Rect, ref uint64) {
+	s.Reset(1)
+	s.Level = 0
+	s.MinX[0], s.MinY[0], s.MaxX[0], s.MaxY[0] = r.MinX, r.MinY, r.MaxX, r.MaxY
+	s.Refs[0] = ref
+}
+
+// Rect returns the i-th entry's MBR.
+func (s *NodeSoA) Rect(i int) geom.Rect {
+	return geom.Rect{MinX: s.MinX[i], MinY: s.MinY[i], MaxX: s.MaxX[i], MaxY: s.MaxY[i]}
+}
+
+// Entry returns the i-th entry in NodeEntry form.
+func (s *NodeSoA) Entry(i int) NodeEntry {
+	return NodeEntry{Rect: s.Rect(i), Ref: s.Refs[i]}
+}
+
+// Swap exchanges entries i and j across all columns.
+func (s *NodeSoA) Swap(i, j int) {
+	s.MinX[i], s.MinX[j] = s.MinX[j], s.MinX[i]
+	s.MinY[i], s.MinY[j] = s.MinY[j], s.MinY[i]
+	s.MaxX[i], s.MaxX[j] = s.MaxX[j], s.MaxX[i]
+	s.MaxY[i], s.MaxY[j] = s.MaxY[j], s.MaxY[i]
+	s.Refs[i], s.Refs[j] = s.Refs[j], s.Refs[i]
+}
+
+// Lo returns the lower-bound column for axis (0 = MinX, 1 = MinY).
+func (s *NodeSoA) Lo(axis int) []float64 {
+	if axis == 0 {
+		return s.MinX
+	}
+	return s.MinY
+}
+
+// Hi returns the upper-bound column for axis (0 = MaxX, 1 = MaxY).
+func (s *NodeSoA) Hi(axis int) []float64 {
+	if axis == 0 {
+		return s.MaxX
+	}
+	return s.MaxY
+}
+
+// decodeNodeSoA parses a page into dst column-wise, reusing dst's
+// backing arrays. The page layout is the row-major one of decodeNode.
+func decodeNodeSoA(page []byte, dst *NodeSoA) error {
+	if len(page) < nodeHeaderSize {
+		return fmt.Errorf("rtree: page too small: %d bytes", len(page))
+	}
+	level := int(binary.LittleEndian.Uint16(page[0:]))
+	count := int(binary.LittleEndian.Uint16(page[2:]))
+	if count > PageCapacity(len(page)) {
+		return fmt.Errorf("rtree: corrupt page: count %d exceeds capacity %d",
+			count, PageCapacity(len(page)))
+	}
+	dst.Level = level
+	dst.Reset(count)
+	off := nodeHeaderSize
+	for i := 0; i < count; i++ {
+		dst.MinX[i] = math.Float64frombits(binary.LittleEndian.Uint64(page[off:]))
+		dst.MinY[i] = math.Float64frombits(binary.LittleEndian.Uint64(page[off+8:]))
+		dst.MaxX[i] = math.Float64frombits(binary.LittleEndian.Uint64(page[off+16:]))
+		dst.MaxY[i] = math.Float64frombits(binary.LittleEndian.Uint64(page[off+24:]))
+		dst.Refs[i] = binary.LittleEndian.Uint64(page[off+32:])
+		off += entrySize
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"distjoin/internal/geom"
+)
+
+// randomNodePage encodes a node with n random entries at the given
+// level into a fresh page.
+func randomNodePage(t *testing.T, rng *rand.Rand, pageSize, level, n int) []byte {
+	t.Helper()
+	page := make([]byte, pageSize)
+	entries := make([]encEntry, n)
+	for i := range entries {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		entries[i] = encEntry{
+			rect: geom.NewRect(x, y, x+rng.Float64()*5, y+rng.Float64()*5),
+			ref:  rng.Uint64(),
+		}
+	}
+	if err := encodeNode(page, level, entries); err != nil {
+		t.Fatal(err)
+	}
+	return page
+}
+
+// TestDecodeNodeSoAMatchesDecodeNode pins the SoA decoder against the
+// row-major reference on the same pages: level, count, every MBR, and
+// every ref must agree entry-for-entry. The SoA buffer is reused
+// across decodes of different sizes — growing and shrinking — because
+// that is exactly how the join expander uses it.
+func TestDecodeNodeSoAMatchesDecodeNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const pageSize = 1024
+	var soa NodeSoA
+	for _, n := range []int{0, 1, 3, 17, PageCapacity(pageSize), 2, 5} {
+		page := randomNodePage(t, rng, pageSize, n%3, n)
+		var node Node
+		if err := decodeNode(page, &node); err != nil {
+			t.Fatalf("n=%d: decodeNode: %v", n, err)
+		}
+		if err := decodeNodeSoA(page, &soa); err != nil {
+			t.Fatalf("n=%d: decodeNodeSoA: %v", n, err)
+		}
+		if soa.Level != node.Level || soa.Len() != len(node.Entries) {
+			t.Fatalf("n=%d: level/len mismatch: SoA (%d,%d) vs node (%d,%d)",
+				n, soa.Level, soa.Len(), node.Level, len(node.Entries))
+		}
+		if soa.IsLeaf() != (node.Level == 0) {
+			t.Fatalf("n=%d: IsLeaf mismatch", n)
+		}
+		for i, e := range node.Entries {
+			if got := soa.Entry(i); got != e {
+				t.Fatalf("n=%d entry %d: SoA %+v vs node %+v", n, i, got, e)
+			}
+			if soa.Rect(i) != e.Rect {
+				t.Fatalf("n=%d entry %d: Rect mismatch", n, i)
+			}
+		}
+	}
+}
+
+// TestDecodeNodeSoAWarmNoAllocs pins the reuse contract: once the SoA
+// buffer has grown to a node's size, re-decoding allocates nothing.
+func TestDecodeNodeSoAWarmNoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	page := randomNodePage(t, rng, 1024, 0, 20)
+	var soa NodeSoA
+	if err := decodeNodeSoA(page, &soa); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := decodeNodeSoA(page, &soa); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("warm decodeNodeSoA allocates %v per call, want 0", avg)
+	}
+}
+
+// TestDecodeNodeSoARejectsCorruptPages mirrors decodeNode's error
+// contract on truncated and count-corrupted pages.
+func TestDecodeNodeSoARejectsCorruptPages(t *testing.T) {
+	var soa NodeSoA
+	if err := decodeNodeSoA([]byte{1, 2}, &soa); err == nil {
+		t.Error("short page decoded without error")
+	}
+	page := make([]byte, 256)
+	page[2] = 0xff // count field far beyond capacity
+	page[3] = 0xff
+	if err := decodeNodeSoA(page, &soa); err == nil {
+		t.Error("corrupt count decoded without error")
+	}
+}
+
+// TestNodeSoASetSingleAndSwap covers the two mutators the join uses:
+// the singleton object side and the sweep sorter's column-lockstep
+// swap.
+func TestNodeSoASetSingleAndSwap(t *testing.T) {
+	var soa NodeSoA
+	r := geom.NewRect(1, 2, 3, 4)
+	soa.SetSingle(r, 42)
+	if soa.Len() != 1 || !soa.IsLeaf() || soa.Rect(0) != r || soa.Refs[0] != 42 {
+		t.Fatalf("SetSingle: %+v", soa)
+	}
+	soa.Reset(2)
+	soa.MinX[0], soa.MinY[0], soa.MaxX[0], soa.MaxY[0], soa.Refs[0] = 1, 2, 3, 4, 10
+	soa.MinX[1], soa.MinY[1], soa.MaxX[1], soa.MaxY[1], soa.Refs[1] = 5, 6, 7, 8, 11
+	soa.Swap(0, 1)
+	if soa.Rect(0) != geom.NewRect(5, 6, 7, 8) || soa.Refs[0] != 11 ||
+		soa.Rect(1) != geom.NewRect(1, 2, 3, 4) || soa.Refs[1] != 10 {
+		t.Fatalf("Swap left columns out of lockstep: %+v", soa)
+	}
+	if soa.Lo(0)[0] != 5 || soa.Hi(0)[0] != 7 || soa.Lo(1)[0] != 6 || soa.Hi(1)[0] != 8 {
+		t.Fatalf("Lo/Hi columns wrong after swap")
+	}
+}

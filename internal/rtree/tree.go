@@ -192,6 +192,19 @@ func (t *Tree) ReadNode(id storage.PageID, dst *Node, mc *metrics.Collector) err
 	return decodeNode(page, dst)
 }
 
+// ReadNodeSoA is ReadNode decoding into the struct-of-arrays layout:
+// the same page fetch and metrics accounting, with the entry columns
+// written into dst's reusable backing arrays.
+func (t *Tree) ReadNodeSoA(id storage.PageID, dst *NodeSoA, mc *metrics.Collector) error {
+	page, acc, err := t.pool.GetAccounted(id)
+	if err != nil {
+		return err
+	}
+	mc.NodeAccess(!acc.Hit, t.cost.RandomPageCost())
+	mc.BufferAccess(acc.Hit, acc.Evictions)
+	return decodeNodeSoA(page, dst)
+}
+
 // Search invokes fn for every object whose MBR intersects q, counting
 // node accesses against mc. Returning false stops early.
 func (t *Tree) Search(q geom.Rect, mc *metrics.Collector, fn func(Item) bool) error {

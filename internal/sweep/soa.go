@@ -1,0 +1,60 @@
+package sweep
+
+import (
+	"sort"
+
+	"distjoin/internal/rtree"
+)
+
+// soaOrder adapts a NodeSoA to sort.Interface for one sweep plan. The
+// key column aliases the node's own coordinate slice for the plan's
+// axis, so Less reads contiguous float64 memory and Swap permutes all
+// columns in lockstep.
+type soaOrder struct {
+	s        *rtree.NodeSoA
+	key      []float64
+	backward bool
+}
+
+func (o *soaOrder) Len() int { return o.s.Len() }
+
+func (o *soaOrder) Less(i, j int) bool {
+	// Forward sweeps order by Min(axis) ascending; backward sweeps by
+	// -Max(axis) ascending, exactly Key's values. Comparing the negated
+	// keys directly (rather than key[j] < key[i]) keeps the NaN
+	// semantics bit-for-bit those of SortEntries.
+	if o.backward {
+		return -o.key[i] < -o.key[j]
+	}
+	return o.key[i] < o.key[j]
+}
+
+func (o *soaOrder) Swap(i, j int) { o.s.Swap(i, j) }
+
+// SoASorter sorts NodeSoA nodes into sweep order. The zero value is
+// ready; keeping one per goroutine amortizes the sort.Interface
+// adapter so repeated sorts allocate nothing.
+type SoASorter struct {
+	o soaOrder
+}
+
+// Sort permutes s into sweep order for plan p. The permutation is
+// identical to SortEntries on the equivalent entry slice: both run the
+// standard library's pdqsort over the same length and the same
+// less-relation, so equal-key runs land in the same order — which is
+// what keeps SoA sweeps byte-identical to the entry-slice engine they
+// replaced.
+func (ss *SoASorter) Sort(s *rtree.NodeSoA, p Plan) {
+	ss.o = soaOrder{s: s, key: s.Lo(p.Axis), backward: p.Dir == Backward}
+	if ss.o.backward {
+		ss.o.key = s.Hi(p.Axis)
+	}
+	sort.Sort(&ss.o)
+	ss.o = soaOrder{} // drop the aliases so the node isn't pinned
+}
+
+// SortSoA sorts s in sweep order for the given plan.
+func SortSoA(s *rtree.NodeSoA, p Plan) {
+	var ss SoASorter
+	ss.Sort(s, p)
+}

@@ -1,0 +1,118 @@
+package sweep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distjoin/internal/geom"
+	"distjoin/internal/rtree"
+)
+
+// fillSoA copies entries into a NodeSoA.
+func fillSoA(s *rtree.NodeSoA, entries []rtree.NodeEntry) {
+	s.Reset(len(entries))
+	s.Level = 0
+	for i, e := range entries {
+		s.MinX[i], s.MinY[i] = e.Rect.MinX, e.Rect.MinY
+		s.MaxX[i], s.MaxY[i] = e.Rect.MaxX, e.Rect.MaxY
+		s.Refs[i] = e.Ref
+	}
+}
+
+// TestSortSoAMatchesSortEntries pins the permutation identity the SoA
+// engine rests on: SortSoA and SortEntries must order the same node
+// identically — duplicate keys included — because both run the
+// standard library's pdqsort over the same length and less-relation.
+// Refs are unique per entry, so comparing the ref sequence verifies
+// the exact permutation, not just a valid sort.
+func TestSortSoAMatchesSortEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var soa rtree.NodeSoA
+	var sorter SoASorter
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		entries := make([]rtree.NodeEntry, n)
+		for i := range entries {
+			// Draw coordinates from a coarse grid so duplicate sweep keys
+			// are common: equal-key runs are where a stability or
+			// less-relation mismatch would show.
+			x := float64(rng.Intn(8))
+			y := float64(rng.Intn(8))
+			entries[i] = rtree.NodeEntry{
+				Rect: geom.NewRect(x, y, x+float64(rng.Intn(3)), y+float64(rng.Intn(3))),
+				Ref:  uint64(i),
+			}
+		}
+		for axis := 0; axis < geom.Dims; axis++ {
+			for _, dir := range []Direction{Forward, Backward} {
+				p := Plan{Axis: axis, Dir: dir}
+				ref := append([]rtree.NodeEntry(nil), entries...)
+				SortEntries(ref, p)
+				fillSoA(&soa, entries)
+				sorter.Sort(&soa, p)
+				for i := range ref {
+					if soa.Refs[i] != ref[i].Ref {
+						t.Fatalf("trial %d plan %+v: permutation diverges at %d: SoA ref %d, entries ref %d",
+							trial, p, i, soa.Refs[i], ref[i].Ref)
+					}
+					if soa.Entry(i) != ref[i] {
+						t.Fatalf("trial %d plan %+v: entry %d columns out of lockstep", trial, p, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSortSoANaNKeys pins that NaN sweep keys order identically in
+// both paths (the soaOrder.Less negation trick exists exactly for
+// this: -NaN comparisons are as false as NaN ones, matching Key's
+// behavior bit-for-bit).
+func TestSortSoANaNKeys(t *testing.T) {
+	nan := math.NaN()
+	entries := []rtree.NodeEntry{
+		{Rect: geom.Rect{MinX: 3, MinY: 0, MaxX: 4, MaxY: 1}, Ref: 0},
+		{Rect: geom.Rect{MinX: nan, MinY: nan, MaxX: nan, MaxY: nan}, Ref: 1},
+		{Rect: geom.Rect{MinX: 1, MinY: 2, MaxX: 2, MaxY: 3}, Ref: 2},
+		{Rect: geom.Rect{MinX: nan, MinY: 5, MaxX: nan, MaxY: 6}, Ref: 3},
+		{Rect: geom.Rect{MinX: 2, MinY: 1, MaxX: 3, MaxY: 2}, Ref: 4},
+	}
+	var soa rtree.NodeSoA
+	for axis := 0; axis < geom.Dims; axis++ {
+		for _, dir := range []Direction{Forward, Backward} {
+			p := Plan{Axis: axis, Dir: dir}
+			ref := append([]rtree.NodeEntry(nil), entries...)
+			SortEntries(ref, p)
+			fillSoA(&soa, entries)
+			SortSoA(&soa, p)
+			for i := range ref {
+				if soa.Refs[i] != ref[i].Ref {
+					t.Fatalf("plan %+v: NaN permutation diverges at %d: SoA ref %d, entries ref %d",
+						p, i, soa.Refs[i], ref[i].Ref)
+				}
+			}
+		}
+	}
+}
+
+// TestSoASorterReuseNoAllocs pins the amortization contract: a warm
+// SoASorter sorts without allocating.
+func TestSoASorterReuseNoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	entries := make([]rtree.NodeEntry, 40)
+	for i := range entries {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		entries[i] = rtree.NodeEntry{Rect: geom.NewRect(x, y, x+1, y+1), Ref: uint64(i)}
+	}
+	var soa rtree.NodeSoA
+	var sorter SoASorter
+	fillSoA(&soa, entries)
+	sorter.Sort(&soa, Plan{Axis: 0, Dir: Forward})
+	if avg := testing.AllocsPerRun(100, func() {
+		fillSoA(&soa, entries)
+		sorter.Sort(&soa, Plan{Axis: 1, Dir: Backward})
+	}); avg != 0 {
+		t.Errorf("warm SoASorter allocates %v per sort, want 0", avg)
+	}
+}
