@@ -16,7 +16,7 @@ STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 ACTIONLINT_VERSION ?= v1.7.7
 
-.PHONY: all build vet lint lint-tools test test-short race cover cover-check sim-smoke sim-soak fuzz fuzz-smoke bench bench-json bench-diff bench-baseline experiments examples serve-smoke ci clean
+.PHONY: all build vet vet-sarif allow-report lint lint-tools test test-short race cover cover-check sim-smoke sim-soak fuzz fuzz-smoke bench bench-json bench-diff bench-baseline experiments examples serve-smoke ci clean
 
 # Coverage floor for the cover-check gate: the suite sits above 80%,
 # so the floor guards against untested subsystems landing, with a
@@ -45,10 +45,14 @@ build:
 # The project lint suite (internal/analysis, docs/static-analysis.md)
 # runs through go vet's -vettool protocol so its per-package results
 # land in go's build cache alongside the standard vet checks. The
-# binary itself is a file target: it only rebuilds when its sources
-# change, and go's build cache makes even that rebuild incremental.
+# binary itself is a file target keyed on every .go source under the
+# command and the analysis package (found at recipe-expansion time, so
+# files added after the Makefile was parsed still count; testdata
+# fixtures are excluded — they are inputs to the analysis tests, not
+# to the tool), and go's build cache makes even a triggered rebuild
+# incremental.
 VETTOOL := bin/distjoin-vet
-VETTOOL_SRC := $(wildcard cmd/distjoin-vet/*.go internal/analysis/*.go)
+VETTOOL_SRC := $(shell find cmd/distjoin-vet internal/analysis -name '*.go' -not -path '*/testdata/*')
 
 $(VETTOOL): $(VETTOOL_SRC) go.mod
 	$(GO) build -o $(VETTOOL) ./cmd/distjoin-vet
@@ -56,6 +60,22 @@ $(VETTOOL): $(VETTOOL_SRC) go.mod
 vet: $(VETTOOL)
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(abspath $(VETTOOL)) ./...
+
+# Emit the analyzer findings as SARIF 2.1.0 (bin/distjoin-vet.sarif)
+# and structurally validate the artifact — the same two commands the
+# CI lint job runs before uploading to code scanning. Exits non-zero
+# when findings exist, after writing and validating the file.
+vet-sarif: $(VETTOOL)
+	@rc=0; $(VETTOOL) -sarif bin/distjoin-vet.sarif ./... || rc=$$?; \
+	if [ "$$rc" -ne 0 ] && [ "$$rc" -ne 2 ]; then exit "$$rc"; fi; \
+	$(VETTOOL) -check-sarif bin/distjoin-vet.sarif; \
+	exit "$$rc"
+
+# Audit every //lint:allow suppression in the tree: prints file:line,
+# analyzer, and the stated reason; fails when any suppression is
+# reasonless or names an unknown analyzer.
+allow-report: $(VETTOOL)
+	$(VETTOOL) -allow-report ./...
 
 # Install the pinned lint toolchain (staticcheck, govulncheck,
 # actionlint). CI runs this before `make lint`; locally it is optional —

@@ -1,6 +1,7 @@
 // Command distjoin-vet is the project lint suite driver. It runs the
-// five internal/analysis analyzers (floatcmp, nilhook, lockheld,
-// promdrift, ctxpoll) in two modes:
+// nine internal/analysis analyzers (floatcmp, nilhook, lockheld,
+// promdrift, ctxpoll, poolsafe, mapdet, atomicmix, servecontract) in
+// two modes:
 //
 //	go vet -vettool=$(pwd)/bin/distjoin-vet ./...
 //
@@ -12,8 +13,17 @@
 //	distjoin-vet [patterns...]
 //
 // (no .cfg argument) loads the matching packages directly through the
-// module-aware loader — the mode the tests and ad-hoc runs use.
-// Patterns default to ./....
+// module-aware loader — the mode the tests, ad-hoc runs, and the CI
+// SARIF/allow-report steps use. Patterns default to ./....
+//
+// Standalone-only flags (never declared to the cmd/go protocol, so
+// `go vet -vettool` is unaffected):
+//
+//	-sarif <file|->     also write findings as SARIF 2.1.0
+//	-check-sarif <file> structurally validate a SARIF document
+//	-allow-report       list every //lint:allow suppression with its
+//	                    reason; exit 2 on reasonless or unknown-analyzer
+//	                    annotations
 package main
 
 import (
@@ -36,6 +46,9 @@ import (
 func main() {
 	versionFlag := flag.String("V", "", "if 'full', print version fingerprint and exit (cmd/go protocol)")
 	flagsFlag := flag.Bool("flags", false, "print the JSON flag declarations and exit (cmd/go protocol)")
+	sarifFlag := flag.String("sarif", "", "standalone mode: also write findings as SARIF 2.1.0 to the named file (or - for stdout)")
+	checkSarifFlag := flag.String("check-sarif", "", "validate the named SARIF file against the 2.1.0 subset and exit")
+	allowReportFlag := flag.Bool("allow-report", false, "list every //lint:allow suppression with its reason; exit 2 on reasonless or unknown-analyzer annotations")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: distjoin-vet [patterns...]  |  go vet -vettool=distjoin-vet ./...\n")
@@ -49,10 +62,14 @@ func main() {
 	case *flagsFlag:
 		// No analyzer-selection flags: the suite always runs whole.
 		fmt.Println("[]")
+	case *checkSarifFlag != "":
+		os.Exit(runCheckSarif(*checkSarifFlag))
+	case *allowReportFlag:
+		os.Exit(runAllowReport(flag.Args()))
 	case flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".cfg"):
 		os.Exit(runUnitchecker(flag.Arg(0)))
 	default:
-		os.Exit(runPatterns(flag.Args()))
+		os.Exit(runPatterns(flag.Args(), *sarifFlag))
 	}
 }
 
@@ -167,8 +184,9 @@ func runUnitchecker(cfgPath string) int {
 }
 
 // runPatterns is the standalone mode: load packages by go list
-// patterns and analyze them all.
-func runPatterns(patterns []string) int {
+// patterns and analyze them all, optionally mirroring the findings to
+// a SARIF file for CI upload.
+func runPatterns(patterns []string, sarifOut string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -185,7 +203,69 @@ func runPatterns(patterns []string) int {
 		}
 		all = append(all, diags...)
 	}
+	if sarifOut != "" {
+		if err := writeSARIFFile(sarifOut, all); err != nil {
+			return fail(err)
+		}
+	}
 	return report(all)
+}
+
+// writeSARIFFile renders diags as SARIF relative to the working
+// directory (the module root in CI).
+func writeSARIFFile(path string, diags []analysis.Diagnostic) error {
+	root, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return analysis.WriteSARIF(w, root, analysis.Suite(), diags)
+}
+
+// runCheckSarif validates a SARIF document and reports the verdict.
+func runCheckSarif(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fail(err)
+	}
+	if err := analysis.ValidateSARIF(data); err != nil {
+		return fail(err)
+	}
+	fmt.Printf("%s: valid SARIF %s\n", path, "2.1.0")
+	return 0
+}
+
+// runAllowReport lists every suppression with its reason and fails on
+// malformed ones, so a reasonless //lint:allow cannot merge silently.
+func runAllowReport(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := &analysis.Loader{}
+	units, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		return fail(err)
+	}
+	allows, malformed := analysis.CollectAllows(units, analysis.Suite())
+	for _, a := range allows {
+		fmt.Printf("%s:%d: %s: %s\n", a.File, a.Line, a.Analyzer, a.Reason)
+	}
+	fmt.Printf("%d suppression(s)\n", len(allows))
+	if len(malformed) > 0 {
+		for _, d := range malformed {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+		}
+		return 2
+	}
+	return 0
 }
 
 // report prints findings in the file:line:col form cmd/go relays and

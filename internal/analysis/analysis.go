@@ -1,6 +1,6 @@
 // Package analysis is the distjoin-vet lint suite: a small,
 // dependency-free reimplementation of the golang.org/x/tools/go/analysis
-// vocabulary (Analyzer, Pass, Diagnostic) carrying five project-specific
+// vocabulary (Analyzer, Pass, Diagnostic) carrying nine project-specific
 // analyzers that turn the engine's correctness conventions into
 // compile-time-checked invariants:
 //
@@ -12,13 +12,28 @@
 //     (or the provider method is a nil-receiver no-op), preserving the
 //     zero-alloc off path pinned by TestTraceOffNoAllocs;
 //   - lockheld — no storage/extsort I/O, channel operation, or sync
-//     blocking call while a hybridq/obsrv mutex is held (one-level
-//     call-graph walk);
+//     blocking call while a hybridq/obsrv mutex is held, resolved to
+//     arbitrary depth through per-function call-graph summaries (see
+//     summary.go);
 //   - promdrift — the trace/obsrv Prometheus surfaces and the strict
 //     exposition lint's expected series cannot drift from the
 //     canonical contract;
-//   - ctxpoll — unbounded queue-draining loops in internal/join must
-//     contain the cancellation/progress poll.
+//   - ctxpoll — unbounded drain loops in join, shard, and serving
+//     (queue pops, spill-run merges, iterator page fills, atomic
+//     task claims) must contain the cancellation/progress poll;
+//   - poolsafe — sync.Pool objects have exactly one owner between get
+//     and put: no use after put, no double put, no put of memory that
+//     escaped (docs/memory.md);
+//   - mapdet — no map iteration, wall-clock reads, or math/rand on
+//     determinism-critical paths (join, shard, hybridq, pqueue, sweep,
+//     extsort);
+//   - atomicmix — a variable accessed via sync/atomic is never read or
+//     written plainly, and typed atomic wrappers are only touched
+//     through their methods or by address;
+//   - servecontract — serving handlers snapshot-then-render, keep the
+//     canonical 400/404/429/499/503/504 status table, emit the
+//     structured request-log record, and register every
+//     distjoin_serving_* metric family in the promdrift contract.
 //
 // Suppressions use the annotation grammar
 //
@@ -79,6 +94,11 @@ type Unit struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	// summaries caches the per-function call-graph effect summaries
+	// (summary.go), built lazily by the first analyzer that needs
+	// call-graph depth and shared by the rest of the suite.
+	summaries *summaryTable
 }
 
 // A Pass carries one analyzer's view of one unit.
@@ -112,9 +132,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Suite returns the five distjoin-vet analyzers in reporting order.
+// Suite returns the nine distjoin-vet analyzers in reporting order.
 func Suite() []*Analyzer {
-	return []*Analyzer{Floatcmp, Nilhook, Lockheld, Promdrift, Ctxpoll}
+	return []*Analyzer{
+		Floatcmp, Nilhook, Lockheld, Promdrift, Ctxpoll,
+		Poolsafe, Mapdet, Atomicmix, Servecontract,
+	}
 }
 
 // RunUnit applies analyzers to one unit and returns the findings
@@ -277,4 +300,17 @@ func scopeBase(pkgPath string) string {
 		return pkgPath[i+1:]
 	}
 	return pkgPath
+}
+
+// exampleTree reports whether the package lives under an examples/
+// directory. Example programs demonstrate the public API and are not
+// subject to the engine-internal scope rules keyed on the package
+// basename (examples/serving is not internal/serving).
+func exampleTree(pkgPath string) bool {
+	for _, seg := range strings.Split(pkgPath, "/") {
+		if seg == "examples" {
+			return true
+		}
+	}
+	return false
 }

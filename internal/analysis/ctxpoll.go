@@ -2,38 +2,53 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 )
 
-// Ctxpoll requires every queue-draining loop in package join to poll
-// for cancellation. The paper's multi-stage traversal (§4.2–§4.3)
-// drains the hybrid priority queue and the external-sort iterator in
-// unbounded `for` loops; without a poll, a cancelled or deadline-hit
-// query spins until the queue empties — the exact hang the
-// execContext.cancelled() throttle (cancelEvery/progressEvery) exists
-// to prevent.
+// Ctxpoll requires every queue-draining loop in the join, shard, and
+// serving packages to poll for cancellation. The paper's multi-stage
+// traversal (§4.2–§4.3) drains the hybrid priority queue and the
+// external-sort iterator in unbounded `for` loops; without a poll, a
+// cancelled or deadline-hit query spins until the queue empties — the
+// exact hang the execContext.cancelled() throttle
+// (cancelEvery/progressEvery) exists to prevent. PRs 6–8 added two
+// more drain shapes with the same failure mode: the shard executor's
+// partition-pair workers claim tasks from an atomic counter in an
+// unbounded loop, and the serving layer's cursors pull pages from the
+// public Iterator.
 //
 // A loop is in scope when its body (function literals excluded — they
 // run on other goroutines or later) drains a work source:
 //
-//   - Pop or Peek on a hybridq.Queue, or
-//   - Next on an extsort iterator.
+//   - Pop or Peek on a hybridq.Queue,
+//   - Next on an extsort iterator,
+//   - Next on the public distjoin.Iterator (the serving cursor pull),
+//   - an Add on a sync/atomic counter inside an unbounded
+//     condition-less `for` (the task-claim idiom of the shard worker
+//     pool and the parallel engine).
 //
-// Such a loop must call a method or function named `cancelled` (the
-// execContext poll) somewhere in its body. Loops that are bounded by
-// construction — a claim loop capped by the worker count, a batch
-// fill capped by batch size — are annotated with
+// Such a loop must poll cancellation in its body: a call to a method
+// or function named `cancelled` (the execContext poll), a
+// context.Context Err() check, or a same-package helper whose
+// call-graph summary (summary.go) says it polls. Loops that are
+// bounded by construction — a claim loop capped by the task list, a
+// batch fill capped by page size — are annotated with
 // `//lint:allow ctxpoll <reason>` instead.
 var Ctxpoll = &Analyzer{
 	Name:      "ctxpoll",
-	Doc:       "queue-draining loops in package join must poll execContext.cancelled",
+	Doc:       "queue-draining loops in join/shard/serving must poll cancellation",
 	SkipTests: true,
 	Run:       runCtxpoll,
 }
 
+// ctxpollScopes are the package scope bases the analyzer runs in.
+var ctxpollScopes = map[string]bool{"join": true, "shard": true, "serving": true}
+
 func runCtxpoll(pass *Pass) error {
-	if scopeBase(pass.PkgPath) != "join" {
+	if exampleTree(pass.PkgPath) || !ctxpollScopes[scopeBase(pass.PkgPath)] {
 		return nil
 	}
+	sums := pass.summaries()
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if _, ok := n.(*ast.FuncLit); ok {
@@ -45,11 +60,11 @@ func runCtxpoll(pass *Pass) error {
 			if !ok {
 				return true
 			}
-			trigger := pass.ctxpollTrigger(loop.Body)
+			trigger := pass.ctxpollTrigger(loop)
 			if trigger == "" {
 				return true
 			}
-			if ctxpollHasPoll(loop.Body) {
+			if pass.ctxpollHasPoll(loop.Body, sums) {
 				return true
 			}
 			pass.Reportf(loop.For, "loop drains %s without polling cancellation: a cancelled query spins until the source empties; call c.cancelled() in the loop body or annotate a bounded loop with %s ctxpoll <reason>",
@@ -61,11 +76,13 @@ func runCtxpoll(pass *Pass) error {
 }
 
 // ctxpollTrigger reports the first work-source drain in the loop body
-// ("" when none): hybridq.Queue Pop/Peek or an extsort Next.
-// Function literals are skipped — their bodies execute elsewhere.
-func (pass *Pass) ctxpollTrigger(body *ast.BlockStmt) string {
+// ("" when none): hybridq.Queue Pop/Peek, an extsort Next, a
+// distjoin.Iterator Next, or — for unbounded condition-less loops —
+// an atomic task-claim Add. Function literals are skipped — their
+// bodies execute elsewhere.
+func (pass *Pass) ctxpollTrigger(loop *ast.ForStmt) string {
 	trigger := ""
-	ast.Inspect(body, func(n ast.Node) bool {
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
 		if trigger != "" {
 			return false
 		}
@@ -80,15 +97,25 @@ func (pass *Pass) ctxpollTrigger(body *ast.BlockStmt) string {
 		if !ok {
 			return true
 		}
+		recv := pass.TypesInfo.Types[sel.X].Type
 		switch sel.Sel.Name {
 		case "Pop", "Peek":
-			if namedTypeIn(pass.TypesInfo.Types[sel.X].Type, "Queue", "hybridq") {
+			if namedTypeIn(recv, "Queue", "hybridq") {
 				trigger = "hybridq.Queue." + sel.Sel.Name
 			}
 		case "Next":
 			if fn := calleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil &&
 				scopeBase(fn.Pkg().Path()) == "extsort" {
 				trigger = "extsort " + sel.Sel.Name
+			} else if namedTypeIn(recv, "Iterator", "distjoin") {
+				trigger = "distjoin.Iterator.Next"
+			}
+		case "Add":
+			// The task-claim idiom: `i := next.Add(1) - 1` inside a
+			// condition-less for. Only unbounded loops are in scope —
+			// `for i > 0 { seq.Add(1) }` shapes bound themselves.
+			if loop.Cond == nil && atomicCounterType(recv) {
+				trigger = "an atomic task-claim counter"
 			}
 		}
 		return true
@@ -96,9 +123,22 @@ func (pass *Pass) ctxpollTrigger(body *ast.BlockStmt) string {
 	return trigger
 }
 
-// ctxpollHasPoll reports whether the loop body calls something named
-// `cancelled` — the execContext poll — outside function literals.
-func ctxpollHasPoll(body *ast.BlockStmt) bool {
+// atomicCounterType matches the sync/atomic integer counter types used
+// by the task-claim idiom.
+func atomicCounterType(t types.Type) bool {
+	for _, name := range [...]string{"Int32", "Int64", "Uint32", "Uint64"} {
+		if namedTypeIn(t, name, "atomic") {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxpollHasPoll reports whether the loop body polls cancellation
+// outside function literals: a call to something named `cancelled`
+// (the execContext poll), an Err() on a context.Context, or a
+// same-package helper that transitively polls (per its summary).
+func (pass *Pass) ctxpollHasPoll(body *ast.BlockStmt, sums *summaryTable) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -115,10 +155,22 @@ func ctxpollHasPoll(body *ast.BlockStmt) bool {
 		case *ast.SelectorExpr:
 			if fun.Sel.Name == "cancelled" {
 				found = true
+				break
+			}
+			if fun.Sel.Name == "Err" && namedTypeIn(pass.TypesInfo.Types[fun.X].Type, "Context", "context") {
+				found = true
+				break
 			}
 		case *ast.Ident:
 			if fun.Name == "cancelled" {
 				found = true
+			}
+		}
+		if !found {
+			if fn := calleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() == pass.Pkg {
+				if s := sums.summaryFor(fn); s != nil && s.polls {
+					found = true
+				}
 			}
 		}
 		return !found

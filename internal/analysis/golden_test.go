@@ -26,6 +26,12 @@ var goldenFixtures = []struct {
 	{Promdrift, "promdrift/obsrv"},
 	{Promdrift, "promdrift/trace"},
 	{Ctxpoll, "ctxpoll/join"},
+	{Ctxpoll, "ctxpoll/shard"},
+	{Ctxpoll, "ctxpoll/serving"},
+	{Poolsafe, "poolsafe/hybridq"},
+	{Mapdet, "mapdet/join"},
+	{Atomicmix, "atomicmix/cutoff"},
+	{Servecontract, "servecontract/serving"},
 }
 
 // wantRE matches analysistest-style expectations: a `// want "regex"`

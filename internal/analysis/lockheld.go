@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // Lockheld forbids blocking work while a hybridq or obsrv mutex is
@@ -19,11 +20,15 @@ import (
 //   - `x.mu.Lock()` / `x.mu.RLock()` on a sync.(RW)Mutex — held until
 //     the matching Unlock in the same block, or function end.
 //
-// The walk is one call level deep: a locked function's direct callees
-// (same package) are scanned for the same blocking operations, so
-// `Pop -> swapIn -> store.ReadPage` is caught without whole-program
-// analysis. Deliberate I/O under the queue's own single-owner lock is
-// annotated with `//lint:allow lockheld <reason>`.
+// Calls out of a locked region are resolved through the per-function
+// call-graph summaries (summary.go): a same-package callee that may
+// block — at any depth of same-package calls — is reported at the
+// caller's call site, with the witness chain in the message, so
+// `Push → spill → appendToSegment → storage.WritePage` is caught
+// without whole-program analysis. The summaries are conservative
+// (may-effects, unreachable paths included); deliberate I/O under the
+// queue's own single-owner lock is annotated at the locked call site
+// with `//lint:allow lockheld <reason>`.
 var Lockheld = &Analyzer{
 	Name:      "lockheld",
 	Doc:       "no I/O, channel, or sync blocking operations while a hybridq/obsrv mutex is held",
@@ -38,40 +43,29 @@ var lockheldScopes = map[string]bool{"hybridq": true, "obsrv": true}
 var lockheldIOPkgs = map[string]bool{"storage": true, "extsort": true, "os": true}
 
 func runLockheld(pass *Pass) error {
-	if !lockheldScopes[scopeBase(pass.PkgPath)] {
+	if exampleTree(pass.PkgPath) || !lockheldScopes[scopeBase(pass.PkgPath)] {
 		return nil
 	}
-	// Index this unit's function declarations for the one-level walk.
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
-				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-					decls[fn] = fd
-				}
-			}
-		}
-	}
+	sums := pass.summaries()
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			pass.lockheldFunc(fd, decls)
+			forEachLockedStmt(pass, fd, func(s ast.Stmt) {
+				pass.lockheldViolations(s, fd, sums)
+			})
 		}
 	}
 	return nil
 }
 
-// lockheldFunc scans one function for locked regions and checks them.
-func (pass *Pass) lockheldFunc(fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) {
+// forEachLockedStmt walks fd's body tracking the mutex-held state and
+// invokes check on every statement that executes with a lock held.
+// Shared by lockheld and servecontract (render-under-lock).
+func forEachLockedStmt(pass *Pass, fd *ast.FuncDecl, check func(ast.Stmt)) {
 	var checkBlock func(list []ast.Stmt, locked bool)
-	checkStmt := func(s ast.Stmt, locked bool) {
-		if locked {
-			pass.lockheldViolations(s, fd, decls, 1)
-		}
-	}
 	checkBlock = func(list []ast.Stmt, locked bool) {
 		lockExprs := map[string]bool{}
 		for _, s := range list {
@@ -107,8 +101,10 @@ func (pass *Pass) lockheldFunc(fd *ast.FuncDecl, decls map[*types.Func]*ast.Func
 					}
 				}
 			}
-			checkStmt(s, locked)
-			// Nested blocks inherit the locked state through checkStmt's
+			if locked {
+				check(s)
+			}
+			// Nested blocks inherit the locked state through check's
 			// recursive inspection, except that explicit sub-blocks with
 			// their own lock/unlock discipline are handled by recursion.
 			if !locked {
@@ -155,11 +151,12 @@ func mutexCall(info *types.Info, call *ast.CallExpr) (recv, kind string) {
 	return "", ""
 }
 
-// lockheldViolations reports blocking operations reachable from n
-// (excluding function literals, whose bodies run later) and, when
-// depth > 0, from the bodies of directly called same-package
-// functions.
-func (pass *Pass) lockheldViolations(n ast.Node, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl, depth int) {
+// lockheldViolations reports blocking operations reachable from n:
+// direct channel/select syntax, direct blocking calls, and —
+// through the call-graph summaries — same-package callees that may
+// block at any depth. Function literals are excluded (their bodies
+// run later).
+func (pass *Pass) lockheldViolations(n ast.Node, fd *ast.FuncDecl, sums *summaryTable) {
 	ast.Inspect(n, func(m ast.Node) bool {
 		switch e := m.(type) {
 		case *ast.FuncLit:
@@ -173,14 +170,16 @@ func (pass *Pass) lockheldViolations(n ast.Node, fd *ast.FuncDecl, decls map[*ty
 		case *ast.SelectStmt:
 			pass.Reportf(e.Pos(), "select while a %s mutex is held: move channel operations outside the locked region", scopeBase(pass.PkgPath))
 		case *ast.CallExpr:
-			pass.lockheldCall(e, fd, decls, depth)
+			pass.lockheldCall(e, fd, sums)
 		}
 		return true
 	})
 }
 
-// lockheldCall classifies one call inside a locked region.
-func (pass *Pass) lockheldCall(call *ast.CallExpr, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl, depth int) {
+// lockheldCall classifies one call inside a locked region: a direct
+// blocking primitive, or a same-package callee whose summary says it
+// may block.
+func (pass *Pass) lockheldCall(call *ast.CallExpr, fd *ast.FuncDecl, sums *summaryTable) {
 	fn := calleeFunc(pass.TypesInfo, call)
 	if fn == nil || fn.Pkg() == nil {
 		return
@@ -195,54 +194,42 @@ func (pass *Pass) lockheldCall(call *ast.CallExpr, fd *ast.FuncDecl, decls map[*
 		pass.Reportf(call.Pos(), "blocking sync Wait while the %s mutex is held: waiting for other goroutines under the lock deadlocks when they need it", lockPkg)
 	case base == "time" && fn.Name() == "Sleep":
 		pass.Reportf(call.Pos(), "time.Sleep while the %s mutex is held", lockPkg)
-	case fn.Pkg() == pass.Pkg && depth > 0:
-		// One-level call-graph walk into same-package callees.
-		if callee, ok := decls[fn]; ok && callee.Body != nil && callee != fd {
-			pass.lockheldViolationsVia(callee.Body, call, fn.Name())
+	case fn.Pkg() == pass.Pkg:
+		// Same-package callee: consult its call-graph summary. Skip
+		// self-recursion — the function's own region is checked
+		// directly.
+		if sums.declFor(fn) == fd {
+			return
+		}
+		s := sums.summaryFor(fn)
+		if s == nil {
+			return
+		}
+		name := fn.Name()
+		switch {
+		case s.effects[effIO] != "":
+			pass.Reportf(call.Pos(), "call to %s does disk I/O (%s) while the %s mutex is held; stage the I/O outside the lock or annotate the single-owner design with %s lockheld <reason>",
+				name, s.effects[effIO], lockPkg, allowPrefix)
+		case s.effects[effChanSend] != "":
+			pass.Reportf(call.Pos(), "call to %s performs a channel send while the %s mutex is held%s", name, lockPkg, viaClause(s.effects[effChanSend]))
+		case s.effects[effChanRecv] != "":
+			pass.Reportf(call.Pos(), "call to %s performs a channel receive while the %s mutex is held%s", name, lockPkg, viaClause(s.effects[effChanRecv]))
+		case s.effects[effSelect] != "":
+			pass.Reportf(call.Pos(), "call to %s runs a select while the %s mutex is held%s", name, lockPkg, viaClause(s.effects[effSelect]))
+		case s.effects[effSyncWait] != "":
+			pass.Reportf(call.Pos(), "call to %s waits on other goroutines (blocking sync Wait) while the %s mutex is held%s", name, lockPkg, viaClause(s.effects[effSyncWait]))
+		case s.effects[effSleep] != "":
+			pass.Reportf(call.Pos(), "call to %s sleeps (time.Sleep) while the %s mutex is held%s", name, lockPkg, viaClause(s.effects[effSleep]))
 		}
 	}
 }
 
-// lockheldViolationsVia scans a callee body for direct blocking
-// operations, reporting them at the caller's call site (the position
-// the developer holding the lock can act on).
-func (pass *Pass) lockheldViolationsVia(body *ast.BlockStmt, at *ast.CallExpr, calleeName string) {
-	lockPkg := scopeBase(pass.PkgPath)
-	reported := false
-	ast.Inspect(body, func(m ast.Node) bool {
-		if reported {
-			return false
-		}
-		switch e := m.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.SendStmt:
-			reported = true
-			pass.Reportf(at.Pos(), "call to %s performs a channel send while the %s mutex is held", calleeName, lockPkg)
-		case *ast.UnaryExpr:
-			if e.Op.String() == "<-" {
-				reported = true
-				pass.Reportf(at.Pos(), "call to %s performs a channel receive while the %s mutex is held", calleeName, lockPkg)
-			}
-		case *ast.SelectStmt:
-			reported = true
-			pass.Reportf(at.Pos(), "call to %s runs a select while the %s mutex is held", calleeName, lockPkg)
-		case *ast.CallExpr:
-			fn := calleeFunc(pass.TypesInfo, e)
-			if fn == nil || fn.Pkg() == nil {
-				return true
-			}
-			base := scopeBase(fn.Pkg().Path())
-			switch {
-			case lockheldIOPkgs[base]:
-				reported = true
-				pass.Reportf(at.Pos(), "call to %s does disk I/O (%s.%s) while the %s mutex is held; stage the I/O outside the lock or annotate the single-owner design with %s lockheld <reason>",
-					calleeName, base, fn.Name(), lockPkg, allowPrefix)
-			case base == "sync" && fn.Name() == "Wait":
-				reported = true
-				pass.Reportf(at.Pos(), "call to %s waits on other goroutines (blocking sync Wait) while the %s mutex is held", calleeName, lockPkg)
-			}
-		}
-		return !reported
-	})
+// viaClause renders a witness path as a " (via …)" suffix when the
+// effect is reached through intermediate callees, and as nothing when
+// the callee performs it directly.
+func viaClause(witness string) string {
+	if strings.Contains(witness, "→") {
+		return " (via " + witness + ")"
+	}
+	return ""
 }

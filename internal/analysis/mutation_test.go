@@ -30,57 +30,125 @@ func TestSuiteCleanOnTree(t *testing.T) {
 	}
 }
 
+// textEdit replaces the first occurrence of old (searching the
+// package's files in listing order) with new.
+type textEdit struct{ old, new string }
+
 // mutations plants one regression per analyzer into a real package —
 // deleting an annotation, widening a guard, renaming a metric family,
-// dropping a cancellation poll — and demands the suite catch it. This
-// is the "removing any annotation or guard fails CI" acceptance bar.
+// dropping a cancellation poll, retaining a recycled slab — and
+// demands the suite catch it. This is the "removing any annotation or
+// guard fails CI" acceptance bar.
 var mutations = []struct {
 	name     string
 	pkg      string // real import path to mutate
 	analyzer string // analyzer that must fire
-	old, new string // first occurrence of old becomes new
+	edits    []textEdit
 }{
 	{
 		name:     "floatcmp/strip-pair-less-allow",
 		pkg:      "distjoin/internal/hybridq",
 		analyzer: "floatcmp",
-		old:      "//lint:allow floatcmp bit-exact distance tie-break IS the determinism contract the parallel engine relies on\n",
-		new:      "",
+		edits: []textEdit{{
+			old: "//lint:allow floatcmp bit-exact distance tie-break IS the determinism contract the parallel engine relies on\n",
+			new: "",
+		}},
 	},
 	{
 		name:     "nilhook/widen-fault-guard",
 		pkg:      "distjoin/internal/hybridq",
 		analyzer: "nilhook",
-		old:      "if q.fault != nil {\n\t\tif err := q.fault(FaultSpill); err != nil {",
-		new:      "if true {\n\t\tif err := q.fault(FaultSpill); err != nil {",
+		edits: []textEdit{{
+			old: "if q.fault != nil {\n\t\tif err := q.fault(FaultSpill); err != nil {",
+			new: "if true {\n\t\tif err := q.fault(FaultSpill); err != nil {",
+		}},
 	},
 	{
 		name:     "lockheld/strip-pop-allow",
 		pkg:      "distjoin/internal/hybridq",
 		analyzer: "lockheld",
-		old:      "//lint:allow lockheld reload I/O under the queue's own single-owner lock is the §4.4 design; the lock is defense-in-depth, never contended on the hot path\nfunc (q *Queue) Pop",
-		new:      "func (q *Queue) Pop",
+		edits: []textEdit{{
+			old: "//lint:allow lockheld reload I/O under the queue's own single-owner lock is the §4.4 design; the lock is defense-in-depth, never contended on the hot path\nfunc (q *Queue) Pop",
+			new: "func (q *Queue) Pop",
+		}},
 	},
 	{
 		name:     "promdrift/rename-family",
 		pkg:      "distjoin/internal/obsrv",
 		analyzer: "promdrift",
-		old:      `"distjoin_queries_total"`,
-		new:      `"distjoin_queries_renamed_total"`,
+		edits:    []textEdit{{old: `"distjoin_queries_total"`, new: `"distjoin_queries_renamed_total"`}},
 	},
 	{
 		name:     "promdrift/rename-serving-family",
 		pkg:      "distjoin/internal/obsrv",
 		analyzer: "promdrift",
-		old:      `"distjoin_serving_requests_total"`,
-		new:      `"distjoin_serving_reqs_total"`,
+		edits:    []textEdit{{old: `"distjoin_serving_requests_total"`, new: `"distjoin_serving_reqs_total"`}},
 	},
 	{
 		name:     "ctxpoll/drop-drain-poll",
 		pkg:      "distjoin/internal/join",
 		analyzer: "ctxpoll",
-		old:      "if err := c.cancelled(); err != nil {\n\t\t\treturn nil, err\n\t\t}\n\t\tp, ok := it.Next()",
-		new:      "p, ok := it.Next()",
+		edits: []textEdit{{
+			old: "if err := c.cancelled(); err != nil {\n\t\t\treturn nil, err\n\t\t}\n\t\tp, ok := it.Next()",
+			new: "p, ok := it.Next()",
+		}},
+	},
+	{
+		// The slab is touched after splitHeap recycles it: the next
+		// spill's owner would race the read.
+		name:     "poolsafe/retain-slab-after-put",
+		pkg:      "distjoin/internal/hybridq",
+		analyzer: "poolsafe",
+		edits: []textEdit{{
+			old: "\tbuf.items = items\n\tputPairBuf(buf)\n\tif q.tr.Enabled() {",
+			new: "\tbuf.items = items\n\tputPairBuf(buf)\n\tspilled = len(buf.items)\n\tif q.tr.Enabled() {",
+		}},
+	},
+	{
+		// Compaction iterates the map instead of the insertion-order
+		// slice: re-seed order becomes run-dependent.
+		name:     "mapdet/range-comp-map",
+		pkg:      "distjoin/internal/join",
+		analyzer: "mapdet",
+		edits: []textEdit{{
+			old: "for _, key := range it.compOrder {",
+			new: "for key := range it.compMap {",
+		}},
+	},
+	{
+		// The frozen-cutoff mirror degrades to a plain field read on
+		// the worker path while the writers stay atomic.
+		name:     "atomicmix/plain-read-of-live-cutoff",
+		pkg:      "distjoin/internal/join",
+		analyzer: "atomicmix",
+		edits: []textEdit{
+			{old: "live atomic.Uint64", new: "live uint64"},
+			{old: "t.live.Store(math.Float64bits(math.Inf(1)))", new: "atomic.StoreUint64(&t.live, math.Float64bits(math.Inf(1)))"},
+			{old: "math.Float64frombits(t.live.Load())", new: "math.Float64frombits(t.live)"},
+			{old: "t.live.Store(math.Float64bits(t.Cutoff()))", new: "atomic.StoreUint64(&t.live, math.Float64bits(t.Cutoff()))"},
+		},
+	},
+	{
+		// The 504 row disappears from the canonical status table:
+		// deadline-exceeded queries silently become 500s.
+		name:     "servecontract/drop-504-mapping",
+		pkg:      "distjoin/internal/serving",
+		analyzer: "servecontract",
+		edits: []textEdit{{
+			old: "\tcase errors.Is(err, context.DeadlineExceeded):\n\t\tstatus = http.StatusGatewayTimeout\n\t\ts.stats.Deadline.Add(1)\n",
+			new: "",
+		}},
+	},
+	{
+		// The shard worker's claim loop loses its cancellation poll: a
+		// cancelled query spins until the task list empties.
+		name:     "ctxpoll/drop-shard-claim-poll",
+		pkg:      "distjoin/internal/shard",
+		analyzer: "ctxpoll",
+		edits: []textEdit{{
+			old: "\t\t\t\tif opts.Context != nil {\n\t\t\t\t\tif cerr := opts.Context.Err(); cerr != nil {\n\t\t\t\t\t\tsetErr(cerr)\n\t\t\t\t\t\treturn\n\t\t\t\t\t}\n\t\t\t\t}\n",
+			new: "",
+		}},
 	},
 }
 
@@ -96,20 +164,25 @@ func TestPlantedMutations(t *testing.T) {
 				t.Fatalf("listing %s: %v", m.pkg, err)
 			}
 			sources := make(map[string][]byte, len(names))
-			planted := false
 			for _, name := range names {
 				src, err := os.ReadFile(name)
 				if err != nil {
 					t.Fatal(err)
 				}
-				if !planted && bytes.Contains(src, []byte(m.old)) {
-					src = bytes.Replace(src, []byte(m.old), []byte(m.new), 1)
-					planted = true
-				}
 				sources[name] = src
 			}
-			if !planted {
-				t.Fatalf("mutation target %q not found in %s; the fixture drifted from the tree", m.old, m.pkg)
+			for _, e := range m.edits {
+				planted := false
+				for _, name := range names {
+					if bytes.Contains(sources[name], []byte(e.old)) {
+						sources[name] = bytes.Replace(sources[name], []byte(e.old), []byte(e.new), 1)
+						planted = true
+						break
+					}
+				}
+				if !planted {
+					t.Fatalf("mutation target %q not found in %s; the fixture drifted from the tree", e.old, m.pkg)
+				}
 			}
 			u, err := sharedLoader.CheckSources(m.pkg, sources)
 			if err != nil {

@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SARIF 2.1.0 emission, the interchange format CI uses to surface
+// findings as code-scanning annotations. The emitter writes the
+// minimal valid subset — tool.driver with one reportingDescriptor per
+// analyzer, one result per diagnostic with a physicalLocation region —
+// and ValidateSARIF structurally checks any document against the same
+// subset, so the CI step that validates the uploaded artifact does not
+// need an external schema validator.
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json"
+	// sarifSrcRoot is the uriBaseId every result URI is relative to;
+	// GitHub code scanning resolves it to the repository root.
+	sarifSrcRoot = "SRCROOT"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool               sarifTool              `json:"tool"`
+	Results            []sarifResult          `json:"results"`
+	OriginalURIBaseIDs map[string]sarifArtLoc `json:"originalUriBaseIds,omitempty"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtLoc `json:"artifactLocation"`
+	Region           sarifRegion `json:"region"`
+}
+
+type sarifArtLoc struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders diags as a SARIF 2.1.0 log. root anchors the
+// %SRCROOT% base: file paths under it are emitted relative (with
+// forward slashes); paths outside it are emitted as-is without a
+// uriBaseId. The rules table carries every analyzer plus the "allow"
+// pseudo-analyzer that reports malformed annotations, so every
+// possible ruleId resolves.
+func WriteSARIF(w io.Writer, root string, analyzers []*Analyzer, diags []Diagnostic) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	index := map[string]int{}
+	addRule := func(id, doc string) {
+		if _, ok := index[id]; ok {
+			return
+		}
+		index[id] = len(rules)
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	addRule("allow", "//lint:allow annotations must name a known analyzer and carry a reason")
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := index[d.Analyzer]
+		if !ok {
+			addRule(d.Analyzer, "(undeclared analyzer)")
+			idx = index[d.Analyzer]
+		}
+		loc := sarifArtLoc{URI: filepath.ToSlash(d.Pos.Filename)}
+		if root != "" {
+			if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				loc = sarifArtLoc{URI: filepath.ToSlash(rel), URIBaseID: sarifSrcRoot}
+			}
+		}
+		line := d.Pos.Line
+		if line < 1 {
+			line = 1
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: loc,
+					Region:           sarifRegion{StartLine: line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "distjoin-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	if root != "" {
+		log.Runs[0].OriginalURIBaseIDs = map[string]sarifArtLoc{
+			sarifSrcRoot: {URI: "file://" + filepath.ToSlash(root) + "/"},
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// ValidateSARIF structurally checks a SARIF document against the
+// 2.1.0 subset WriteSARIF emits: version, at least one run with a
+// named tool driver, every result referencing a declared rule and
+// carrying a message and a physical location with a positive start
+// line. The first violation is returned as an error.
+func ValidateSARIF(data []byte) error {
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		return fmt.Errorf("sarif: not valid JSON: %w", err)
+	}
+	if log.Version != sarifVersion {
+		return fmt.Errorf("sarif: version %q, want %q", log.Version, sarifVersion)
+	}
+	if len(log.Runs) == 0 {
+		return fmt.Errorf("sarif: no runs")
+	}
+	for ri, run := range log.Runs {
+		if run.Tool.Driver.Name == "" {
+			return fmt.Errorf("sarif: runs[%d] has no tool.driver.name", ri)
+		}
+		ruleIDs := map[string]bool{}
+		for _, r := range run.Tool.Driver.Rules {
+			if r.ID == "" {
+				return fmt.Errorf("sarif: runs[%d] declares a rule with no id", ri)
+			}
+			ruleIDs[r.ID] = true
+		}
+		for i, res := range run.Results {
+			if res.RuleID == "" {
+				return fmt.Errorf("sarif: runs[%d].results[%d] has no ruleId", ri, i)
+			}
+			if !ruleIDs[res.RuleID] {
+				return fmt.Errorf("sarif: runs[%d].results[%d] references undeclared rule %q", ri, i, res.RuleID)
+			}
+			if res.Message.Text == "" {
+				return fmt.Errorf("sarif: runs[%d].results[%d] has no message.text", ri, i)
+			}
+			if len(res.Locations) == 0 {
+				return fmt.Errorf("sarif: runs[%d].results[%d] has no locations", ri, i)
+			}
+			for j, l := range res.Locations {
+				if l.PhysicalLocation.ArtifactLocation.URI == "" {
+					return fmt.Errorf("sarif: runs[%d].results[%d].locations[%d] has no artifact URI", ri, i, j)
+				}
+				if l.PhysicalLocation.Region.StartLine < 1 {
+					return fmt.Errorf("sarif: runs[%d].results[%d].locations[%d] startLine %d < 1",
+						ri, i, j, l.PhysicalLocation.Region.StartLine)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Allow is one parsed //lint:allow suppression, surfaced by the
+// -allow-report mode so reviewers can audit every live suppression
+// and its stated reason in one place.
+type Allow struct {
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+// CollectAllows scans units for //lint:allow annotations. The first
+// return is every well-formed suppression; the second is the
+// malformed ones (missing reason, unknown analyzer) as diagnostics —
+// the -allow-report CI step fails when any exist.
+func CollectAllows(units []*Unit, analyzers []*Analyzer) ([]Allow, []Diagnostic) {
+	var out []Allow
+	var bad []Diagnostic
+	for _, u := range units {
+		idx := buildAllowIndex(u, analyzers)
+		for _, a := range idx.allows {
+			out = append(out, Allow{File: a.file, Line: a.annotLine, Analyzer: a.analyzer, Reason: a.reason})
+		}
+		bad = append(bad, idx.malformed...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, bad
+}

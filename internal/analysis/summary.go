@@ -1,0 +1,384 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Conservative per-function call-graph summaries.
+//
+// PR 9 layered helpers between the public queue operations and the
+// blocking primitives they eventually reach (Push → spill →
+// appendToSegment → flushSegmentPage → storage.WritePage), which put
+// the interesting operations out of reach of lockheld's original
+// one-level callee walk. The summaries below close that gap: for every
+// function declared in the unit we compute, once per package load, the
+// set of *effects* the function may perform directly or through any
+// chain of same-package static calls.
+//
+// The analysis is deliberately conservative (a may-analysis):
+//
+//   - call edges are syntactic — every static call to a same-package
+//     declared function propagates the callee's effects to the caller,
+//     whether or not the call is reachable at run time;
+//   - conditional effects count: an effect behind `if debug { ... }`
+//     is still an effect of the function;
+//   - function literals are excluded from the summary of the function
+//     that *creates* them (their bodies run later, often on another
+//     goroutine), but a literal's body contributes to summaries when
+//     an analyzer walks the literal itself;
+//   - dynamic calls (function values, interface methods outside the
+//     recognized sets) contribute nothing — the recognized leaf sets
+//     (storage/extsort/os I/O, sync.Wait, channel ops, pool Get/Put,
+//     context polls, HTTP rendering) are what the invariants name.
+//
+// Consequently a summary-based finding can be a false positive on a
+// path that never executes; such sites are suppressed at the *report
+// site* (the call in the locked/draining region) with //lint:allow,
+// never inside the callee — the callee's summary stays honest for its
+// other callers.
+//
+// Fixpoint: effects are monotone booleans (with a witness path
+// attached on first discovery), so iterating "propagate callee
+// summaries into callers" until nothing changes terminates even with
+// recursion and mutual recursion (SCCs): each of the finitely many
+// (function, effect) bits flips at most once.
+
+// effectKind classifies one blocking or contract-relevant behavior.
+type effectKind int
+
+const (
+	effIO       effectKind = iota // storage/extsort/os call
+	effChanSend                   // ch <- v
+	effChanRecv                   // <-ch
+	effSelect                     // select statement
+	effSyncWait                   // sync.WaitGroup.Wait / sync.Cond.Wait
+	effSleep                      // time.Sleep
+	effRender                     // writes an HTTP response body/header
+	numEffects
+)
+
+// funcSummary records what one function may do, transitively through
+// same-package static calls. effects[k] is "" when the function cannot
+// perform effect k, else a witness path like "spill → appendToSegment
+// → storage.WritePage" naming one chain that reaches the effect.
+type funcSummary struct {
+	effects [numEffects]string
+	// polls: the function calls a cancellation poll (a function or
+	// method named `cancelled`, or context.Context.Err) on some path.
+	polls bool
+	// getsPool: the function's own body obtains an object from a
+	// sync.Pool. Deliberately NOT propagated through call edges —
+	// poolsafe uses it to recognize get-helpers (getPairBuf,
+	// getSegment), whose return value is the pooled object; a deeper
+	// caller's return value usually is not.
+	getsPool bool
+	// putParams marks parameter indices whose argument is returned to
+	// a sync.Pool by the call (directly, through a holder object, or
+	// via a deeper put-helper). Receiver parameters are index -1.
+	// This one IS propagated: a wrapper that forwards its parameter to
+	// putSegment returns it to the pool too.
+	putParams map[int]bool
+	// putsPool: the function's own body calls sync.Pool.Put
+	// (not propagated; see getsPool).
+	putsPool bool
+}
+
+// summaryTable holds the unit-wide summaries, built lazily once per
+// unit and shared by every analyzer that needs call-graph depth.
+type summaryTable struct {
+	decls map[*types.Func]*ast.FuncDecl
+	sums  map[*types.Func]*funcSummary
+}
+
+// summaries returns the unit's summary table, computing it on first use.
+func (p *Pass) summaries() *summaryTable {
+	if p.unit.summaries == nil {
+		p.unit.summaries = buildSummaries(p.unit)
+	}
+	return p.unit.summaries
+}
+
+// summaryFor returns fn's summary, or nil when fn is not declared in
+// this unit (imported functions are classified by the leaf sets, not
+// by summaries).
+func (t *summaryTable) summaryFor(fn *types.Func) *funcSummary {
+	if t == nil || fn == nil {
+		return nil
+	}
+	return t.sums[fn]
+}
+
+// declFor returns the declaration of a unit function, or nil.
+func (t *summaryTable) declFor(fn *types.Func) *ast.FuncDecl {
+	if t == nil || fn == nil {
+		return nil
+	}
+	return t.decls[fn]
+}
+
+// buildSummaries computes the direct effects of every declared
+// function, then iterates same-package call-edge propagation to a
+// fixpoint.
+func buildSummaries(u *Unit) *summaryTable {
+	t := &summaryTable{
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		sums:  make(map[*types.Func]*funcSummary),
+	}
+	for _, f := range u.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil || fd.Body == nil {
+				continue
+			}
+			if fn, ok := u.Info.Defs[fd.Name].(*types.Func); ok {
+				t.decls[fn] = fd
+			}
+		}
+	}
+	// calls[caller] lists the same-package static calls in caller's
+	// body (function literals excluded), kept as AST nodes so the
+	// putParams propagation can map arguments to parameters.
+	calls := make(map[*types.Func][]*ast.CallExpr)
+	for fn, fd := range t.decls {
+		s := &funcSummary{putParams: make(map[int]bool)}
+		t.sums[fn] = s
+		directEffects(u.Info, fd, s, func(call *ast.CallExpr, callee *types.Func) {
+			if _, ok := t.decls[callee]; ok {
+				calls[fn] = append(calls[fn], call)
+			}
+		})
+		markDirectPutParams(u.Info, fd, s)
+	}
+	// Fixpoint propagation. Every iteration can only set bits that
+	// were clear, so the loop terminates.
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range t.decls {
+			s := t.sums[fn]
+			for _, call := range calls[fn] {
+				callee := calleeFunc(u.Info, call)
+				cs := t.sums[callee]
+				if cs == nil || callee == fn {
+					continue
+				}
+				for k := effectKind(0); k < numEffects; k++ {
+					if s.effects[k] == "" && cs.effects[k] != "" {
+						s.effects[k] = callee.Name() + " → " + cs.effects[k]
+						changed = true
+					}
+				}
+				if !s.polls && cs.polls {
+					s.polls = true
+					changed = true
+				}
+				// A parameter handed straight to a pool-putting callee
+				// parameter is itself returned to the pool.
+				for j, arg := range call.Args {
+					if !cs.putParams[j] {
+						continue
+					}
+					id, ok := ast.Unparen(arg).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if i := paramIndex(u.Info, fd, id); i != putParamNone && !s.putParams[i] {
+						s.putParams[i] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return t
+}
+
+// putParamNone marks "not a parameter" for paramIndex.
+const putParamNone = -2
+
+// paramIndex returns the parameter index of id within fd (receiver =
+// -1), or putParamNone.
+func paramIndex(info *types.Info, fd *ast.FuncDecl, id *ast.Ident) int {
+	obj := info.Uses[id]
+	if obj == nil {
+		return putParamNone
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				if info.Defs[name] == obj {
+					return -1
+				}
+			}
+		}
+	}
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if info.Defs[name] == obj {
+				return i
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	return putParamNone
+}
+
+// directEffects records fd's own effects into s and hands every
+// resolvable call to onCall. Function literal bodies are skipped.
+func directEffects(info *types.Info, fd *ast.FuncDecl, s *funcSummary, onCall func(*ast.CallExpr, *types.Func)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			s.setEffect(effChanSend, "channel send")
+		case *ast.UnaryExpr:
+			if e.Op.String() == "<-" {
+				s.setEffect(effChanRecv, "channel receive")
+			}
+		case *ast.SelectStmt:
+			s.setEffect(effSelect, "select")
+		case *ast.CallExpr:
+			fn := calleeFunc(info, e)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			base := scopeBase(fn.Pkg().Path())
+			name := fn.Name()
+			switch {
+			case lockheldIOPkgs[base]:
+				s.setEffect(effIO, base+"."+name)
+			case base == "sync" && name == "Wait":
+				s.setEffect(effSyncWait, "sync Wait")
+			case base == "time" && name == "Sleep":
+				s.setEffect(effSleep, "time.Sleep")
+			case isPoolMethod(e, info, "Put"):
+				s.putsPool = true
+			case isPoolMethod(e, info, "Get"):
+				s.getsPool = true
+			case renderCall(info, e) != "":
+				s.setEffect(effRender, renderCall(info, e))
+			}
+			if name == "cancelled" || (base == "context" && name == "Err") {
+				s.polls = true
+			}
+			onCall(e, fn)
+		}
+		return true
+	})
+}
+
+// setEffect records the first witness for an effect kind.
+func (s *funcSummary) setEffect(k effectKind, witness string) {
+	if s.effects[k] == "" {
+		s.effects[k] = witness
+	}
+}
+
+// isPoolMethod matches a call to (sync.Pool).<name>.
+func isPoolMethod(call *ast.CallExpr, info *types.Info, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	return namedTypeIn(info.Types[sel.X].Type, "Pool", "sync")
+}
+
+// renderCall classifies a call that writes an HTTP response ("" when
+// it does not): http.ResponseWriter Write/WriteHeader, http.Error and
+// http.NotFound, and (json.Encoder).Encode — the primitives the
+// serving snapshot-then-render contract cares about.
+func renderCall(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	base := scopeBase(fn.Pkg().Path())
+	name := fn.Name()
+	switch {
+	case base == "http" && (name == "Error" || name == "NotFound"):
+		return "http." + name
+	case base == "http" && (name == "Write" || name == "WriteHeader"):
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if namedTypeIn(info.Types[sel.X].Type, "ResponseWriter", "http") {
+				return "ResponseWriter." + name
+			}
+		}
+		// Interface method resolved through the named interface type.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if namedTypeIn(sig.Recv().Type(), "ResponseWriter", "http") {
+				return "ResponseWriter." + name
+			}
+		}
+	case base == "json" && name == "Encode":
+		return "json.Encoder.Encode"
+	}
+	return ""
+}
+
+// markDirectPutParams marks fd parameters that reach a sync.Pool.Put
+// in fd's own body. Two shapes are recognized:
+//
+//   - the parameter is itself an argument of a (sync.Pool).Put call
+//     (putPairBuf, putSegment);
+//   - the function calls (sync.Pool).Put at all and the parameter is
+//     the source of an assignment through a pointer or into a
+//     structure (putPageBuf's holder indirection: `*h = b;
+//     pagePool.Put(h)`). This is the conservative half: any
+//     store-then-put pattern counts.
+//
+// Only pointer-, slice-, map-, chan-, and interface-typed parameters
+// are considered; a put cannot retain a plain scalar.
+func markDirectPutParams(info *types.Info, fd *ast.FuncDecl, s *funcSummary) {
+	if !s.putsPool || fd.Type.Params == nil {
+		return
+	}
+	poolable := func(obj types.Object) bool {
+		if obj == nil {
+			return false
+		}
+		switch obj.Type().Underlying().(type) {
+		case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface:
+			return true
+		}
+		return false
+	}
+	mark := func(id *ast.Ident) {
+		if obj := info.Uses[id]; poolable(obj) {
+			if i := paramIndex(info, fd, id); i != putParamNone {
+				s.putParams[i] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isPoolMethod(e, info, "Put") {
+				for _, arg := range e.Args {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						mark(id)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range e.Lhs {
+				if i >= len(e.Rhs) {
+					break
+				}
+				switch ast.Unparen(lhs).(type) {
+				case *ast.StarExpr, *ast.SelectorExpr, *ast.IndexExpr:
+					if id, ok := ast.Unparen(e.Rhs[i]).(*ast.Ident); ok {
+						mark(id)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

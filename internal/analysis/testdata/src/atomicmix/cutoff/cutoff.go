@@ -1,0 +1,53 @@
+// Package cutoff is the atomicmix golden fixture: mixed plain/atomic
+// access to one variable and by-value use of typed atomic wrappers.
+package cutoff
+
+import "sync/atomic"
+
+type tracker struct {
+	live   uint64
+	frozen atomic.Uint64
+}
+
+func (t *tracker) publish(v uint64) {
+	atomic.StoreUint64(&t.live, v)
+}
+
+func (t *tracker) goodAtomicRead() uint64 {
+	return atomic.LoadUint64(&t.live)
+}
+
+func (t *tracker) badPlainRead() uint64 {
+	return t.live // want "live is accessed with sync/atomic"
+}
+
+func (t *tracker) badPlainWrite() {
+	t.live = 0 // want "live is accessed with sync/atomic"
+}
+
+func (t *tracker) goodWrapperMethod() uint64 {
+	return t.frozen.Load()
+}
+
+func (t *tracker) goodWrapperAddr() *atomic.Uint64 {
+	return &t.frozen
+}
+
+func (t *tracker) badWrapperCopy() atomic.Uint64 {
+	return t.frozen // want "used by value"
+}
+
+func sink(atomic.Uint64) {}
+
+func (t *tracker) badWrapperArg() {
+	sink(t.frozen) // want "used by value"
+}
+
+// newTracker seeds the mirror before any goroutine can observe it.
+//
+//lint:allow atomicmix single-threaded constructor; no goroutine observes the value yet
+func newTracker(seed uint64) *tracker {
+	t := &tracker{}
+	t.live = seed
+	return t
+}

@@ -1,0 +1,62 @@
+// Package shard is the ctxpoll golden fixture for the partition
+// worker loops: atomic task-claim drains with and without the
+// cancellation poll, including a poll reached through a same-package
+// helper (recognized via the call-graph summaries).
+package shard
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+type board struct {
+	next  atomic.Int64
+	tasks []func()
+}
+
+func (b *board) badClaimLoop() {
+	for { // want "drains an atomic task-claim counter without polling cancellation"
+		i := int(b.next.Add(1)) - 1
+		if i >= len(b.tasks) {
+			return
+		}
+		b.tasks[i]()
+	}
+}
+
+func (b *board) goodPolledClaim(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		i := int(b.next.Add(1)) - 1
+		if i >= len(b.tasks) {
+			return nil
+		}
+		b.tasks[i]()
+	}
+}
+
+// check is a same-package poll helper: its summary records the
+// context.Err call, so loops that call it count as polled.
+func check(ctx context.Context) error { return ctx.Err() }
+
+func (b *board) goodPolledViaHelper(ctx context.Context) error {
+	for {
+		if err := check(ctx); err != nil {
+			return err
+		}
+		i := int(b.next.Add(1)) - 1
+		if i >= len(b.tasks) {
+			return nil
+		}
+		b.tasks[i]()
+	}
+}
+
+// A conditioned for loop is bounded by construction, not a claim drain.
+func (b *board) goodBoundedFor(n int) {
+	for i := 0; i < n; i++ {
+		b.next.Add(1)
+	}
+}

@@ -1,6 +1,6 @@
 // Package hybridq is the lockheld golden fixture: blocking work under
-// both lock idioms, the one-level callee walk, and the single-owner
-// annotation.
+// both lock idioms, callees resolved through the call-graph
+// summaries, and the single-owner annotation.
 package hybridq
 
 import (
@@ -38,7 +38,7 @@ func (q *queue) badExplicitLock(page []byte) {
 	_ = q.store.ReadPage(0, page) // after Unlock: accepted
 }
 
-// load is the callee of the one-level walk below.
+// load is the direct callee whose summary carries the I/O effect.
 func (q *queue) load(page []byte) {
 	_ = q.store.ReadPage(0, page)
 }
@@ -81,8 +81,8 @@ func (q *queue) goodPooledUnderLock(n int) []byte {
 	return page
 }
 
-// getBuf is a pool-only callee: the one-level walk sees no blocking
-// work in it, so calling it under the lock is accepted.
+// getBuf is a pool-only callee: its summary records no blocking
+// effects, so calling it under the lock is accepted.
 func (q *queue) getBuf() interface{} { return pagePool.Get() }
 
 func (q *queue) goodPooledViaCallee() {

@@ -1,0 +1,51 @@
+// Package join is the mapdet golden fixture: map iteration,
+// wall-clock reads, and math/rand on the determinism-critical path.
+package join
+
+import (
+	"math/rand"
+	mrand "math/rand/v2"
+	"sort"
+	"time"
+)
+
+func badMapRange(weights map[string]float64) float64 {
+	sum := 0.0
+	for _, w := range weights { // want "range over a map in determinism-critical package join"
+		sum += w
+	}
+	return sum
+}
+
+func badClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in determinism-critical package join"
+}
+
+func badRand() int {
+	return rand.Intn(10) // want "math/rand call .rand.Intn. in determinism-critical package join"
+}
+
+func badRandV2() int {
+	return mrand.IntN(10) // want "math/rand call .rand.IntN. in determinism-critical package join"
+}
+
+func goodSliceRange(dists []float64) float64 {
+	sum := 0.0
+	for _, d := range dists {
+		sum += d
+	}
+	return sum
+}
+
+// goodSortedKeys is the sanctioned pattern: the one collection range
+// is order-insensitive, and the sort restores a deterministic order.
+//
+//lint:allow mapdet key collection is order-insensitive; the sort restores determinism
+func goodSortedKeys(weights map[string]float64) []string {
+	keys := make([]string, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -149,6 +149,7 @@ func (ps *parallelState) run(c *execContext, tasks []ptask) {
 		wg.Add(1)
 		go func(e *expander) {
 			defer wg.Done()
+			//lint:allow ctxpoll bounded by len(tasks): each iteration claims one task and exits past the end; task bodies poll cancellation at the coordinator barriers
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(tasks) {

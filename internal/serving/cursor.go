@@ -41,6 +41,7 @@ func (c *cursor) next(n int) (pairs []distjoin.Pair, done bool, returned int64, 
 	if c.done {
 		return nil, true, c.returned, nil
 	}
+	//lint:allow ctxpoll bounded by the page size n; the engine iterator polls Options.Context between batches
 	for len(pairs) < n {
 		p, ok := c.it.Next()
 		if !ok {

@@ -458,6 +458,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/debug/", obs)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
+			//lint:allow servecontract the root mux fallback has no query context; a plain 404 matches net/http convention for unknown paths
 			http.NotFound(w, r)
 			return
 		}
